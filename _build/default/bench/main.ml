@@ -1,0 +1,358 @@
+(* Experiment harness: regenerates every table and figure of the paper.
+
+   Subcommands:
+     table1            benchmark characteristics (paper Table 1)
+     table2            feasibility grid, ILP mapper (paper Table 2)
+     fig8              SA mapper vs ILP mapper (paper Figure 8)
+     sizes             formulation sizes per cell (diagnostics)
+     micro             Bechamel micro-benchmarks of the pipeline stages
+     all               table1 + table2 + fig8 + micro (default)
+
+   Common options:
+     --limit SECS      per-cell time limit (default 120)
+     --size N          array size NxN (default 4, the paper's)
+     --benchmark NAME  restrict to one benchmark (repeatable)
+     --seeds N         annealing attempts per cell in fig8 (default 3) *)
+
+module Dfg = Cgra_dfg.Dfg
+module Benchmarks = Cgra_dfg.Benchmarks
+module Lib = Cgra_arch.Library
+module Build = Cgra_mrrg.Build
+module Mrrg = Cgra_mrrg.Mrrg
+module IM = Cgra_core.Ilp_mapper
+module Anneal = Cgra_core.Anneal
+module Formulation = Cgra_core.Formulation
+module Deadline = Cgra_util.Deadline
+
+type options = {
+  limit : float;
+  size : int;
+  benchmarks : string list; (* empty = all *)
+  seeds : int;
+}
+
+let default_options = { limit = 120.0; size = 4; benchmarks = []; seeds = 3 }
+
+let selected_benchmarks opts =
+  match opts.benchmarks with
+  | [] -> Benchmarks.all
+  | names -> List.filter (fun (n, _) -> List.mem n names) Benchmarks.all
+
+(* The eight architectures of Table 2: four structures x two context
+   counts, single-context columns first, exactly as the paper prints
+   them. *)
+let table2_columns opts =
+  List.concat_map
+    (fun ii ->
+      List.map (fun (name, config) -> (name, config, ii)) (Lib.paper_configs ~size:opts.size))
+    [ 1; 2 ]
+
+let column_header (name, _, ii) = Printf.sprintf "%s/ii%d" name ii
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 opts =
+  print_endline "== Table 1: benchmark characteristics ==";
+  Printf.printf "%-14s %6s %12s %12s\n" "Benchmark" "I/Os" "Operations" "#Multiplies";
+  List.iter
+    (fun (name, mk) ->
+      let s = Dfg.stats (mk ()) in
+      Printf.printf "%-14s %6d %12d %12d\n" name s.Dfg.ios s.Dfg.operations s.Dfg.multiplies)
+    (selected_benchmarks opts);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cell = Feasible | Infeasible | TimedOut
+
+let cell_char = function Feasible -> "1" | Infeasible -> "0" | TimedOut -> "T"
+
+let mrrg_cache : (string * int * int, Mrrg.t) Hashtbl.t = Hashtbl.create 16
+
+let mrrg_for opts (name, config, ii) =
+  match Hashtbl.find_opt mrrg_cache (name, opts.size, ii) with
+  | Some m -> m
+  | None ->
+      let m = Build.elaborate (Lib.make config) ~ii in
+      Hashtbl.replace mrrg_cache (name, opts.size, ii) m;
+      m
+
+(* Two-phase exact query: a cold attempt first (fast on easy cells and
+   on infeasibility proofs), then a warm-started attempt seeded by a
+   thorough annealing run for the cells where search alone stalls. *)
+let ilp_cell opts column dfg =
+  let mrrg = mrrg_for opts column in
+  let t0 = Deadline.now () in
+  let slice = Float.min (opts.limit /. 3.0) 30.0 in
+  let classify = function
+    | IM.Mapped _ -> Feasible
+    | IM.Infeasible _ -> Infeasible
+    | IM.Timeout _ -> TimedOut
+  in
+  let cold =
+    IM.map ~objective:Formulation.Feasibility ~warm_start:0.0
+      ~deadline:(Deadline.after ~seconds:slice) dfg mrrg
+  in
+  let cell =
+    match classify cold with
+    | (Feasible | Infeasible) as c -> c
+    | TimedOut ->
+        let remaining = opts.limit -. Deadline.elapsed_of ~start:t0 in
+        if remaining <= 1.0 then TimedOut
+        else
+          classify
+            (IM.map ~objective:Formulation.Feasibility
+               ~warm_start:(Float.min 60.0 (remaining /. 2.0))
+               ~deadline:(Deadline.after ~seconds:remaining) dfg mrrg)
+  in
+  (cell, Deadline.elapsed_of ~start:t0)
+
+let run_table2 opts =
+  Printf.printf "== Table 2: mapping feasibility (ILP mapper, %dx%d, limit %.0fs) ==\n" opts.size
+    opts.size opts.limit;
+  let columns = table2_columns opts in
+  Printf.printf "%-14s" "Benchmark";
+  List.iter (fun c -> Printf.printf " %20s" (column_header c)) columns;
+  print_newline ();
+  let totals = Array.make (List.length columns) 0 in
+  let times = ref [] in
+  List.iter
+    (fun (bname, mk) ->
+      let dfg = mk () in
+      Printf.printf "%-14s%!" bname;
+      List.iteri
+        (fun idx column ->
+          let cell, dt = ilp_cell opts column dfg in
+          times := dt :: !times;
+          if cell = Feasible then totals.(idx) <- totals.(idx) + 1;
+          Printf.printf " %14s %4.0fs%!" (cell_char cell) dt)
+        columns;
+      print_newline ())
+    (selected_benchmarks opts);
+  Printf.printf "%-14s" "Total Feasible";
+  Array.iter (fun n -> Printf.printf " %20d" n) totals;
+  print_newline ();
+  (* the paper's runtime remark (>80% of runs within an hour) *)
+  let all = List.length !times in
+  if all > 0 then begin
+    let within limit = List.length (List.filter (fun t -> t < limit) !times) in
+    let sorted = List.sort compare !times in
+    Printf.printf
+      "runtimes: %d/%d cells within 60s, %d/%d within the %.0fs limit, median %.2fs\n"
+      (within 60.0) all
+      (within opts.limit)
+      all opts.limit
+      (List.nth sorted (all / 2))
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sa_cell opts column dfg =
+  let mrrg = mrrg_for opts column in
+  (* a few annealing attempts per cell, each bounded by a slice of the
+     cell budget — the paper's "moderate parameters" *)
+  let slice = opts.limit /. float_of_int (max 1 opts.seeds) in
+  let rec attempt seed =
+    if seed > opts.seeds then false
+    else
+      let params = { Anneal.moderate with Anneal.seed } in
+      let deadline = Deadline.after ~seconds:slice in
+      match Anneal.map ~params ~deadline dfg mrrg with
+      | Anneal.Mapped _ -> true
+      | Anneal.Failed _ -> attempt (seed + 1)
+  in
+  attempt 1
+
+let run_fig8 opts =
+  Printf.printf "== Figure 8: benchmarks mapped, SA mapper vs ILP mapper (%dx%d) ==\n" opts.size
+    opts.size;
+  let columns = table2_columns opts in
+  let benches = selected_benchmarks opts in
+  Printf.printf "%-18s %12s %12s\n" "Architecture" "SA mapper" "ILP mapper";
+  List.iter
+    (fun column ->
+      let sa = ref 0 and ilp = ref 0 in
+      List.iter
+        (fun (_, mk) ->
+          let dfg = mk () in
+          if sa_cell opts column dfg then incr sa;
+          match ilp_cell opts column dfg with Feasible, _ -> incr ilp | _ -> ())
+        benches;
+      Printf.printf "%-18s %12d %12d\n%!" (column_header column) !sa !ilp)
+    columns;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics: formulation sizes                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_sizes opts =
+  Printf.printf "== Formulation sizes (%dx%d) ==\n" opts.size opts.size;
+  let columns = table2_columns opts in
+  List.iter
+    (fun (bname, mk) ->
+      let dfg = mk () in
+      List.iter
+        (fun ((cname, _, ii) as column) ->
+          let mrrg = mrrg_for opts column in
+          let f = Formulation.build ~objective:Formulation.Feasibility dfg mrrg in
+          Printf.printf "%-14s %s/ii%d: %s\n%!" bname cname ii
+            (Format.asprintf "%a" Formulation.pp_size (Formulation.size f)))
+        columns)
+    (selected_benchmarks opts);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: formulation refinements (DESIGN.md §7)                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation opts =
+  Printf.printf
+    "== Ablation: exact-solve time under formulation variants (limit %.0fs) ==\n" opts.limit;
+  let variants =
+    [
+      ("full", true, true, true);
+      ("no-prune", false, true, true);
+      ("no-anchor", true, false, true);
+      ("no-backward", true, true, false);
+      ("paper-literal", false, false, false);
+    ]
+  in
+  let cases =
+    [ ("mac", "homo-orth", 1); ("2x2-f", "hetero-orth", 1); ("accum", "homo-orth", 1);
+      ("exp_4", "homo-diag", 1); ("mac", "homo-orth", 2) ]
+  in
+  Printf.printf "%-24s" "case";
+  List.iter (fun (n, _, _, _) -> Printf.printf " %14s" n) variants;
+  print_newline ();
+  List.iter
+    (fun (bench, arch, ii) ->
+      match (Benchmarks.by_name bench, Lib.find_config ~size:opts.size arch) with
+      | Some dfg, Some config ->
+          let mrrg = mrrg_for opts (arch, config, ii) in
+          Printf.printf "%-24s%!" (Printf.sprintf "%s/%s/ii%d" bench arch ii);
+          List.iter
+            (fun (_, prune, anchor_sinks, backward_continuity) ->
+              let t0 = Deadline.now () in
+              let f =
+                Formulation.build ~objective:Formulation.Feasibility ~prune ~anchor_sinks
+                  ~backward_continuity dfg mrrg
+              in
+              let outcome =
+                Cgra_ilp.Solve.solve
+                  ~deadline:(Deadline.after ~seconds:opts.limit)
+                  f.Formulation.model
+              in
+              let dt = Deadline.elapsed_of ~start:t0 in
+              let tag =
+                match outcome with
+                | Cgra_ilp.Solve.Optimal _ | Cgra_ilp.Solve.Feasible _ -> "sat"
+                | Cgra_ilp.Solve.Infeasible -> "uns"
+                | Cgra_ilp.Solve.Timeout -> "TO"
+              in
+              Printf.printf " %9.2fs %3s%!" dt tag)
+            variants;
+          print_newline ()
+      | _ -> Printf.printf "unknown case %s/%s\n" bench arch)
+    cases;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "== Micro-benchmarks (Bechamel, ns/run) ==";
+  let arch = Lib.make Lib.default in
+  let mrrg = Build.elaborate arch ~ii:1 in
+  let dfg = Benchmarks.mac () in
+  let tests =
+    Test.make_grouped ~name:"pipeline"
+      [
+        Test.make ~name:"arch-elaborate-4x4"
+          (Staged.stage (fun () -> ignore (Lib.make Lib.default)));
+        Test.make ~name:"mrrg-elaborate-4x4"
+          (Staged.stage (fun () -> ignore (Build.elaborate arch ~ii:1)));
+        Test.make ~name:"formulation-build-mac"
+          (Staged.stage (fun () ->
+               ignore (Formulation.build ~objective:Formulation.Feasibility dfg mrrg)));
+        Test.make ~name:"ilp-map-mac-4x4"
+          (Staged.stage (fun () ->
+               ignore (IM.map ~objective:Formulation.Feasibility dfg mrrg)));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "  %-36s %14.0f\n" name est
+      | Some _ | None -> Printf.printf "  %-36s  (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_args () =
+  let opts = ref default_options in
+  let cmds = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--limit" :: v :: rest ->
+        opts := { !opts with limit = float_of_string v };
+        go rest
+    | "--size" :: v :: rest ->
+        opts := { !opts with size = int_of_string v };
+        go rest
+    | "--benchmark" :: v :: rest ->
+        opts := { !opts with benchmarks = v :: !opts.benchmarks };
+        go rest
+    | "--seeds" :: v :: rest ->
+        opts := { !opts with seeds = int_of_string v };
+        go rest
+    | cmd :: rest ->
+        cmds := cmd :: !cmds;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!opts, List.rev !cmds)
+
+let () =
+  let opts, cmds = parse_args () in
+  let cmds = if cmds = [] then [ "all" ] else cmds in
+  List.iter
+    (function
+      | "table1" -> run_table1 opts
+      | "table2" -> run_table2 opts
+      | "fig8" -> run_fig8 opts
+      | "sizes" -> run_sizes opts
+      | "ablation" -> run_ablation opts
+      | "micro" -> run_micro ()
+      | "all" ->
+          run_table1 opts;
+          run_table2 opts;
+          run_fig8 opts;
+          run_micro ()
+      | other ->
+          Printf.eprintf "unknown subcommand %S\n" other;
+          exit 2)
+    cmds

@@ -1,0 +1,296 @@
+(* cgra_map: command-line front end to the mapping framework.
+
+   Subcommands mirror the paper's flow (Fig. 7): describe architectures
+   and benchmarks, elaborate MRRGs, map with the exact ILP mapper or
+   the simulated-annealing heuristic, and export artefacts (DOT, ADL,
+   LP files). *)
+
+module Dfg = Cgra_dfg.Dfg
+module Benchmarks = Cgra_dfg.Benchmarks
+module Arch = Cgra_arch.Arch
+module Lib = Cgra_arch.Library
+module Adl = Cgra_arch.Adl
+module Mrrg = Cgra_mrrg.Mrrg
+module Build = Cgra_mrrg.Build
+module Formulation = Cgra_core.Formulation
+module IM = Cgra_core.Ilp_mapper
+module Anneal = Cgra_core.Anneal
+module Mapping = Cgra_core.Mapping
+module Lp_format = Cgra_ilp.Lp_format
+module Deadline = Cgra_util.Deadline
+open Cmdliner
+
+(* ---------------- shared argument definitions ---------------- *)
+
+let arch_names = List.map fst (Lib.paper_configs ~size:4)
+
+let arch_arg =
+  let doc =
+    Printf.sprintf "Architecture: one of %s, or the path of an .adl file."
+      (String.concat ", " arch_names)
+  in
+  Arg.(value & opt string "homo-orth" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let size_arg =
+  let doc = "Array size (NxN) for the built-in architectures." in
+  Arg.(value & opt int 4 & info [ "s"; "size" ] ~docv:"N" ~doc)
+
+let contexts_arg =
+  let doc = "Number of contexts (the initiation interval II)." in
+  Arg.(value & opt int 1 & info [ "c"; "contexts" ] ~docv:"II" ~doc)
+
+let benchmark_arg =
+  let doc = "Benchmark name (see $(b,benchmarks)) or the path of a .dfg file." in
+  Arg.(value & pos 0 string "mac" & info [] ~docv:"BENCHMARK" ~doc)
+
+let limit_arg =
+  let doc = "Time limit in seconds (0 = none)." in
+  Arg.(value & opt float 120.0 & info [ "t"; "limit" ] ~docv:"SECS" ~doc)
+
+let optimize_arg =
+  let doc = "Minimise routing-resource usage (paper objective (10)) instead of feasibility only." in
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the annealing mapper." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let load_arch name size =
+  match Lib.find_config ~size name with
+  | Some config -> Ok (Lib.make config)
+  | None ->
+      if Sys.file_exists name then
+        let ic = open_in_bin name in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Adl.of_string text
+      else
+        Error
+          (Printf.sprintf "unknown architecture %S (expected one of %s or a file)" name
+             (String.concat ", " arch_names))
+
+let load_benchmark name =
+  match Benchmarks.by_name name with
+  | Some dfg -> Ok dfg
+  | None ->
+      if Sys.file_exists name then begin
+        let ic = open_in_bin name in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Dfg.of_text text
+      end
+      else
+        Error (Printf.sprintf "unknown benchmark %S (see `cgra_map benchmarks`)" name)
+
+let deadline_of limit = if limit <= 0.0 then Deadline.none else Deadline.after ~seconds:limit
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* ---------------- subcommands ---------------- *)
+
+let benchmarks_cmd =
+  let run () =
+    Printf.printf "%-14s %6s %12s %12s\n" "Benchmark" "I/Os" "Operations" "#Multiplies";
+    List.iter
+      (fun (name, mk) ->
+        let s = Dfg.stats (mk ()) in
+        Printf.printf "%-14s %6d %12d %12d\n" name s.Dfg.ios s.Dfg.operations s.Dfg.multiplies)
+      Benchmarks.all
+  in
+  Cmd.v (Cmd.info "benchmarks" ~doc:"List the built-in benchmark DFGs (paper Table 1).")
+    Term.(const run $ const ())
+
+let archs_cmd =
+  let run size contexts =
+    List.iter
+      (fun (name, config) ->
+        let arch = Lib.make config in
+        let mrrg = Build.elaborate arch ~ii:contexts in
+        let s = Mrrg.stats mrrg in
+        Printf.printf "%-14s %s; MRRG(ii=%d): %d route + %d func nodes, %d edges\n" name
+          (Format.asprintf "%a" Arch.pp_summary (Arch.summary arch))
+          contexts s.Mrrg.n_route s.Mrrg.n_func s.Mrrg.n_edges)
+      (Lib.paper_configs ~size)
+  in
+  Cmd.v
+    (Cmd.info "archs" ~doc:"List the built-in architectures with netlist and MRRG sizes.")
+    Term.(const run $ size_arg $ contexts_arg)
+
+let map_cmd =
+  let run bench arch size contexts limit optimize =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
+    let result = IM.map ~objective ~deadline:(deadline_of limit) dfg mrrg in
+    match result with
+    | IM.Mapped (m, info) ->
+        Printf.printf "feasible: %s\n" (Format.asprintf "%a" IM.pp_result result);
+        Printf.printf "model: %s (built in %.2fs)\n"
+          (Format.asprintf "%a" Formulation.pp_size info.IM.size)
+          info.IM.build_seconds;
+        print_endline (Mapping.to_string m)
+    | IM.Infeasible info ->
+        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds
+    | IM.Timeout _ ->
+        print_endline "timeout: feasibility undecided";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Map a benchmark onto an architecture with the exact ILP mapper (paper Fig. 7).")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg)
+
+let anneal_cmd =
+  let run bench arch size contexts limit seed =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    let params = { Anneal.moderate with Anneal.seed } in
+    match Anneal.map ~params ~deadline:(deadline_of limit) dfg mrrg with
+    | Anneal.Mapped (m, st) ->
+        Printf.printf "mapped after %d moves (%d accepted)\n" st.Anneal.moves_tried
+          st.Anneal.moves_accepted;
+        print_endline (Mapping.to_string m)
+    | Anneal.Failed st ->
+        Printf.printf
+          "annealing failed (cost %d, overuse %d, unrouted %d) — proves nothing about feasibility\n"
+          st.Anneal.final_cost st.Anneal.final_overuse st.Anneal.unrouted;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "anneal" ~doc:"Map with the simulated-annealing heuristic baseline (paper Fig. 8).")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ seed_arg)
+
+let config_cmd =
+  let run bench arch size contexts limit =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    match IM.map ~deadline:(deadline_of limit) dfg mrrg with
+    | IM.Mapped (m, _) -> (
+        match Cgra_core.Configgen.generate m with
+        | Ok cfg -> print_string (Cgra_core.Configgen.to_string m cfg)
+        | Error errs ->
+            prerr_endline ("configuration generation failed: " ^ String.concat "; " errs);
+            exit 1)
+    | IM.Infeasible _ ->
+        print_endline "infeasible: no configuration exists";
+        exit 3
+    | IM.Timeout _ ->
+        print_endline "timeout";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "config"
+       ~doc:"Map a benchmark and print the per-context CGRA configuration (mux selects, opcodes).")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg)
+
+let map_dot_cmd =
+  let run bench arch size contexts limit =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    match IM.map ~deadline:(deadline_of limit) dfg mrrg with
+    | IM.Mapped (m, _) -> print_string (Mapping.to_dot m)
+    | IM.Infeasible _ | IM.Timeout _ ->
+        prerr_endline "no mapping to draw";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "map-dot" ~doc:"Map a benchmark and print the mapping overlay in GraphViz DOT form.")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg)
+
+let simulate_cmd =
+  let run bench arch size contexts limit seed =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    match IM.map ~deadline:(deadline_of limit) dfg mrrg with
+    | IM.Infeasible _ ->
+        print_endline "infeasible: nothing to simulate";
+        exit 3
+    | IM.Timeout _ ->
+        print_endline "timeout";
+        exit 3
+    | IM.Mapped (m, _) -> (
+        let binding = Cgra_sim.Simulator.default_binding dfg ~seed in
+        match Cgra_sim.Simulator.run m ~arch:a binding with
+        | Error errs ->
+            prerr_endline ("simulation error: " ^ String.concat "; " errs);
+            exit 1
+        | Ok outcome ->
+            Printf.printf "simulated %d cycles with inputs:\n" outcome.Cgra_sim.Simulator.cycles;
+            List.iter
+              (fun (q, v) -> Printf.printf "  %s = %d\n" (Dfg.node dfg q).Dfg.name v)
+              binding;
+            Printf.printf "outputs (simulated vs DFG reference):\n";
+            List.iter2
+              (fun (name, got) (_, want) ->
+                Printf.printf "  %s = %d (expected %d) %s\n" name got want
+                  (if got = want then "ok" else "MISMATCH"))
+              outcome.Cgra_sim.Simulator.outputs outcome.Cgra_sim.Simulator.reference;
+            if not outcome.Cgra_sim.Simulator.matches then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Map a benchmark, then execute the mapping cycle-by-cycle and check the outputs \
+          against direct DFG evaluation.")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ seed_arg)
+
+let mrrg_dot_cmd =
+  let run arch size contexts =
+    let a = or_die (load_arch arch size) in
+    print_string (Mrrg.to_dot (Build.elaborate a ~ii:contexts))
+  in
+  Cmd.v
+    (Cmd.info "mrrg-dot" ~doc:"Print the architecture's MRRG in GraphViz DOT form.")
+    Term.(const run $ arch_arg $ size_arg $ contexts_arg)
+
+let dfg_dot_cmd =
+  let run bench =
+    let dfg = or_die (load_benchmark bench) in
+    print_string (Dfg.to_dot dfg)
+  in
+  Cmd.v
+    (Cmd.info "dfg-dot" ~doc:"Print a benchmark DFG in GraphViz DOT form.")
+    Term.(const run $ benchmark_arg)
+
+let adl_cmd =
+  let run arch size =
+    let a = or_die (load_arch arch size) in
+    print_string (Adl.to_string a)
+  in
+  Cmd.v
+    (Cmd.info "adl" ~doc:"Print an architecture in the textual description language.")
+    Term.(const run $ arch_arg $ size_arg)
+
+let lp_cmd =
+  let run bench arch size contexts optimize =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
+    let f = Formulation.build ~objective dfg mrrg in
+    print_string (Lp_format.to_string f.Formulation.model)
+  in
+  Cmd.v
+    (Cmd.info "lp"
+       ~doc:
+         "Print the ILP formulation in CPLEX LP format (for inspection or an external solver).")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ optimize_arg)
+
+let main =
+  let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in
+  Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
+    [
+      map_cmd; anneal_cmd; config_cmd; simulate_cmd; benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd;
+      dfg_dot_cmd; adl_cmd; lp_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

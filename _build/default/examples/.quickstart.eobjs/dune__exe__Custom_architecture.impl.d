@@ -1,0 +1,1 @@
+examples/custom_architecture.ml: Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Format List

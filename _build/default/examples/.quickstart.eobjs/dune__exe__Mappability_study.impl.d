@@ -1,0 +1,1 @@
+examples/mappability_study.ml: Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Cgra_util Format List Option String

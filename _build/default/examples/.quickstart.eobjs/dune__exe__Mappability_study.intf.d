@@ -1,0 +1,1 @@
+examples/mappability_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Format

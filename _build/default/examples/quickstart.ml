@@ -1,0 +1,54 @@
+(* Quickstart: build a small kernel, pick a built-in CGRA, elaborate
+   its MRRG and map the kernel exactly.
+
+     dune exec examples/quickstart.exe *)
+
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Library = Cgra_arch.Library
+module Build = Cgra_mrrg.Build
+module Mrrg = Cgra_mrrg.Mrrg
+module IM = Cgra_core.Ilp_mapper
+module Mapping = Cgra_core.Mapping
+module Formulation = Cgra_core.Formulation
+
+let () =
+  (* 1. Describe the application as a data-flow graph: a multiply-add
+        with one loop-carried accumulator, y += a*b + c. *)
+  let dfg =
+    let b = Dfg.Builder.create ~name:"madd-acc" () in
+    let a = Dfg.Builder.add b Op.Input "a" in
+    let bb = Dfg.Builder.add b Op.Input "b" in
+    let c = Dfg.Builder.add b Op.Input "c" in
+    let m = Dfg.Builder.add b Op.Mul "m" in
+    Dfg.Builder.connect b ~src:a ~dst:m ~operand:0;
+    Dfg.Builder.connect b ~src:bb ~dst:m ~operand:1;
+    let s = Dfg.Builder.add b Op.Add "s" in
+    Dfg.Builder.connect b ~src:m ~dst:s ~operand:0;
+    Dfg.Builder.connect b ~src:c ~dst:s ~operand:1;
+    let acc = Dfg.Builder.add b Op.Add "acc" in
+    Dfg.Builder.connect b ~src:s ~dst:acc ~operand:0;
+    Dfg.Builder.connect b ~src:acc ~dst:acc ~operand:1 (* loop-carried *);
+    let o = Dfg.Builder.add b Op.Output "y" in
+    Dfg.Builder.connect b ~src:acc ~dst:o ~operand:0;
+    Dfg.Builder.freeze b
+  in
+  Format.printf "application:@.%a@.@." Dfg.pp dfg;
+
+  (* 2. Pick an architecture (the paper's 4x4 homogeneous orthogonal
+        array) and elaborate its MRRG for a single context. *)
+  let arch = Library.make Library.default in
+  let mrrg = Build.elaborate arch ~ii:1 in
+  let stats = Mrrg.stats mrrg in
+  Format.printf "architecture: %s -> MRRG with %d routing and %d functional-unit nodes@.@."
+    (Cgra_arch.Arch.name arch) stats.Mrrg.n_route stats.Mrrg.n_func;
+
+  (* 3. Map.  [Min_routing] asks for the provably cheapest routing
+        (paper objective (10)); use [Feasibility] for a faster yes/no. *)
+  match IM.map ~objective:Formulation.Min_routing dfg mrrg with
+  | IM.Mapped (mapping, info) ->
+      Format.printf "mapped optimally: %d routing nodes (solved in %.2fs)@.@.%s@."
+        (Mapping.routing_cost mapping) info.IM.solve_seconds
+        (Mapping.to_string mapping)
+  | IM.Infeasible _ -> Format.printf "provably infeasible on this architecture@."
+  | IM.Timeout _ -> Format.printf "undecided within the time limit@."

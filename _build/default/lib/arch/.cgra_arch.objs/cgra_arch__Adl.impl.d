@@ -1,0 +1,1 @@
+lib/arch/adl.ml: Arch Buffer Cgra_dfg List Primitive Printf Result String

@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Format Hashtbl List Option Primitive Printf String

@@ -1,0 +1,1 @@
+lib/arch/arch.mli: Format Primitive

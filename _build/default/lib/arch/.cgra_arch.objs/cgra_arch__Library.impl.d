@@ -1,0 +1,1 @@
+lib/arch/library.ml: Arch List Primitive Printf

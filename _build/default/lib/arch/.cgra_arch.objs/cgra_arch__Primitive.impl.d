@@ -1,0 +1,1 @@
+lib/arch/primitive.ml: Cgra_dfg Format List Printf String

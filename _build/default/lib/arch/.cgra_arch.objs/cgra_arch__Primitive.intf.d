@@ -1,0 +1,1 @@
+lib/arch/primitive.mli: Cgra_dfg Format

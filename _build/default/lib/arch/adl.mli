@@ -1,0 +1,22 @@
+(** Textual architecture description language.
+
+    An s-expression syntax for {!Arch.t} — the role CGRA-ME's XML
+    plays in the paper's flow: architectures can be written, stored and
+    exchanged as text, then elaborated to an MRRG without touching
+    OCaml code.
+
+    {v
+    ; comments run to end of line
+    (arch my-cgra
+      (inst m (mux 2))
+      (inst f (fu (inputs 2) (latency 0) (ii 1) (ops add mul)))
+      (inst r reg)
+      (wire m.out f.in0)
+      (wire f.out r.in))
+    v} *)
+
+val to_string : Arch.t -> string
+(** Pretty-print an architecture in ADL syntax. *)
+
+val of_string : string -> (Arch.t, string) result
+(** Parse ADL text; errors carry a human-readable description. *)

@@ -1,0 +1,125 @@
+type endpoint = { inst : string; port : string }
+type connection = { src : endpoint; dst : endpoint }
+
+type t = {
+  name : string;
+  instances : (string * Primitive.t) list;
+  by_name : (string, Primitive.t) Hashtbl.t;
+  connections : connection list;
+  driver_of : (endpoint, endpoint) Hashtbl.t;
+  fanout_of : (endpoint, endpoint list) Hashtbl.t;
+}
+
+let check arch =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let port_kind ep =
+    match Hashtbl.find_opt arch.by_name ep.inst with
+    | None ->
+        err "connection references unknown instance %S" ep.inst;
+        `Unknown
+    | Some prim ->
+        if List.mem ep.port (Primitive.input_port_names prim) then `Input
+        else if List.mem ep.port (Primitive.output_port_names prim) then `Output
+        else begin
+          err "instance %S has no port %S" ep.inst ep.port;
+          `Unknown
+        end
+  in
+  let driven = Hashtbl.create 64 in
+  List.iter
+    (fun { src; dst } ->
+      (match port_kind src with
+      | `Output | `Unknown -> ()
+      | `Input -> err "connection source %s.%s is an input port" src.inst src.port);
+      (match port_kind dst with
+      | `Input | `Unknown -> ()
+      | `Output -> err "connection sink %s.%s is an output port" dst.inst dst.port);
+      if Hashtbl.mem driven dst then
+        err "input %s.%s driven more than once" dst.inst dst.port;
+      Hashtbl.replace driven dst ())
+    arch.connections;
+  !errs
+
+let validate arch = match check arch with [] -> Ok () | errs -> Error (List.rev errs)
+
+module Builder = struct
+  type t = {
+    bname : string;
+    mutable rev_instances : (string * Primitive.t) list;
+    names : (string, Primitive.t) Hashtbl.t;
+    mutable rev_connections : connection list;
+  }
+
+  let create ?(name = "arch") () =
+    { bname = name; rev_instances = []; names = Hashtbl.create 64; rev_connections = [] }
+
+  let add b name prim =
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Arch.Builder.add: duplicate instance %S" name);
+    Hashtbl.add b.names name prim;
+    b.rev_instances <- (name, prim) :: b.rev_instances
+
+  let connect b ~src ~dst = b.rev_connections <- { src; dst } :: b.rev_connections
+
+  let freeze b =
+    let connections = List.rev b.rev_connections in
+    let driver_of = Hashtbl.create 256 in
+    let fanout_of = Hashtbl.create 256 in
+    List.iter
+      (fun { src; dst } ->
+        Hashtbl.replace driver_of dst src;
+        let old = Option.value ~default:[] (Hashtbl.find_opt fanout_of src) in
+        Hashtbl.replace fanout_of src (old @ [ dst ]))
+      connections;
+    let arch =
+      {
+        name = b.bname;
+        instances = List.rev b.rev_instances;
+        by_name = b.names;
+        connections;
+        driver_of;
+        fanout_of;
+      }
+    in
+    match check arch with
+    | [] -> arch
+    | errs ->
+        invalid_arg
+          (Printf.sprintf "Arch.Builder.freeze (%s): %s" b.bname (String.concat "; " errs))
+end
+
+let name t = t.name
+let instances t = t.instances
+let connections t = t.connections
+let find t inst = Hashtbl.find_opt t.by_name inst
+let n_instances t = List.length t.instances
+let driver t ep = Hashtbl.find_opt t.driver_of ep
+let fanout t ep = Option.value ~default:[] (Hashtbl.find_opt t.fanout_of ep)
+
+type summary = {
+  n_func_units : int;
+  n_muxes : int;
+  n_registers : int;
+  n_connections : int;
+}
+
+let summary t =
+  let n_func_units = ref 0 and n_muxes = ref 0 and n_registers = ref 0 in
+  List.iter
+    (fun (_, prim) ->
+      match (prim : Primitive.t) with
+      | Primitive.Func_unit _ -> incr n_func_units
+      | Primitive.Multiplexer _ -> incr n_muxes
+      | Primitive.Register -> incr n_registers)
+    t.instances;
+  {
+    n_func_units = !n_func_units;
+    n_muxes = !n_muxes;
+    n_registers = !n_registers;
+    n_connections = List.length t.connections;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%d FUs, %d muxes, %d registers, %d connections" s.n_func_units s.n_muxes
+    s.n_registers s.n_connections

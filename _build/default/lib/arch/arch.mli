@@ -1,0 +1,64 @@
+(** A CGRA architecture: a flat netlist of primitives.
+
+    This is the generic, architecture-agnostic input of the framework
+    (the role CGRA-ME's XML language plays in the paper): any
+    composition of functional units, multiplexers and registers with
+    point-to-point connections.  {!Library} builds the paper's eight
+    test architectures on top of this; {!Adl} gives it a textual
+    syntax.  The MRRG generator consumes this representation
+    unmodified, so the mapper never sees anything
+    architecture-specific. *)
+
+type endpoint = { inst : string; port : string }
+
+type connection = { src : endpoint; dst : endpoint }
+(** Directed wire from an output port to an input port. *)
+
+type t
+
+module Builder : sig
+  type arch := t
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val add : t -> string -> Primitive.t -> unit
+  (** [add b name prim] instantiates a primitive.
+      @raise Invalid_argument on duplicate names. *)
+
+  val connect : t -> src:endpoint -> dst:endpoint -> unit
+  (** Wire an output port to an input port.  Validity is checked at
+      {!freeze}. *)
+
+  val freeze : t -> arch
+  (** Validate and seal; see {!validate}.
+      @raise Invalid_argument when validation fails. *)
+end
+
+val name : t -> string
+val instances : t -> (string * Primitive.t) list
+(** In insertion order. *)
+
+val connections : t -> connection list
+val find : t -> string -> Primitive.t option
+val n_instances : t -> int
+
+val driver : t -> endpoint -> endpoint option
+(** The output endpoint driving an input endpoint, if connected. *)
+
+val fanout : t -> endpoint -> endpoint list
+(** Input endpoints driven by an output endpoint. *)
+
+val validate : t -> (unit, string list) result
+(** Errors: dangling endpoint references, connections from non-output
+    or to non-input ports, multiply-driven inputs. *)
+
+type summary = {
+  n_func_units : int;
+  n_muxes : int;
+  n_registers : int;
+  n_connections : int;
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

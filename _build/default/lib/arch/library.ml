@@ -1,0 +1,178 @@
+type topology = Orthogonal | Diagonal
+type fu_mix = Homogeneous | Heterogeneous
+
+type config = { rows : int; cols : int; topology : topology; fu_mix : fu_mix }
+
+let default = { rows = 4; cols = 4; topology = Orthogonal; fu_mix = Homogeneous }
+
+let block name part = Printf.sprintf "b%s_%s" name part
+let block_name ~row ~col = Printf.sprintf "%d_%d" row col
+let block_fu ~row ~col = block (block_name ~row ~col) "fu"
+let block_out ~row ~col = { Arch.inst = block (block_name ~row ~col) "reg"; port = "out" }
+
+(* Retained for API compatibility and for architecture variants: the
+   combinational ALU output.  In the bus-based baseline below it feeds
+   only the block-internal register path, not the interconnect. *)
+let block_fu_out ~row ~col = { Arch.inst = block (block_name ~row ~col) "fu"; port = "out" }
+
+let has_multiplier config ~row ~col =
+  match config.fu_mix with Homogeneous -> true | Heterogeneous -> (row + col) mod 2 = 0
+
+let neighbour_offsets = function
+  | Orthogonal -> [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
+  | Diagonal -> [ (-1, 0); (1, 0); (0, -1); (0, 1); (-1, -1); (-1, 1); (1, -1); (1, 1) ]
+
+(* I/O pads on the periphery: one per edge position.  Like the
+   row-shared memory ports of Fig. 6, each pad is wired to the 32-bit
+   bus of its row (left/right pads) or column (top/bottom pads): its
+   output is readable by every block on that bus and its input
+   multiplexer selects among their outputs. *)
+let io_pads config =
+  List.concat
+    [
+      List.init config.cols (fun c -> (Printf.sprintf "io_t%d" c, `Col c));
+      List.init config.cols (fun c -> (Printf.sprintf "io_b%d" c, `Col c));
+      List.init config.rows (fun r -> (Printf.sprintf "io_l%d" r, `Row r));
+      List.init config.rows (fun r -> (Printf.sprintf "io_r%d" r, `Row r));
+    ]
+
+let pad_covers config bus ~row ~col =
+  ignore config;
+  match bus with `Row r -> r = row | `Col c -> c = col
+
+let pad_blocks config bus =
+  match bus with
+  | `Row r -> List.init config.cols (fun c -> (r, c))
+  | `Col c -> List.init config.rows (fun r -> (r, c))
+
+let make config =
+  if config.rows < 1 || config.cols < 1 then invalid_arg "Library.make: empty grid";
+  let b =
+    Arch.Builder.create
+      ~name:
+        (Printf.sprintf "%s-%s-%dx%d"
+           (match config.fu_mix with Homogeneous -> "homo" | Heterogeneous -> "hetero")
+           (match config.topology with Orthogonal -> "orth" | Diagonal -> "diag")
+           config.rows config.cols)
+      ()
+  in
+  let in_bounds (r, c) = r >= 0 && r < config.rows && c >= 0 && c < config.cols in
+  let pads = io_pads config in
+  (* The ordered list of sources feeding a block's input muxes:
+     neighbouring block outputs, the row memory port, the block's own
+     registered output (accumulator feedback), and the pads whose bus
+     covers this block. *)
+  let mux_sources ~row ~col =
+    let neighbours =
+      neighbour_offsets config.topology
+      |> List.filter_map (fun (dr, dc) ->
+             let r = row + dr and c = col + dc in
+             if in_bounds (r, c) then Some (block_out ~row:r ~col:c) else None)
+    in
+    let mem = { Arch.inst = Printf.sprintf "mem%d" row; port = "out" } in
+    let feedback = block_out ~row ~col in
+    let bus_pads =
+      List.filter_map
+        (fun (pad, bus) ->
+          if pad_covers config bus ~row ~col then Some { Arch.inst = pad; port = "out" }
+          else None)
+        pads
+    in
+    neighbours @ [ mem; feedback ] @ bus_pads
+  in
+  (* blocks: two operand muxes feed the ALU; a bypass mux provides the
+     block's route-through lane; the output register captures either
+     the ALU result or the bypassed value, and drives the block's
+     single output bus *)
+  for row = 0 to config.rows - 1 do
+    for col = 0 to config.cols - 1 do
+      let nm part = block (block_name ~row ~col) part in
+      let sources = mux_sources ~row ~col in
+      let k = List.length sources in
+      Arch.Builder.add b (nm "mux_a") (Primitive.Multiplexer k);
+      Arch.Builder.add b (nm "mux_b") (Primitive.Multiplexer k);
+      Arch.Builder.add b (nm "mux_bp") (Primitive.Multiplexer k);
+      Arch.Builder.add b (nm "reg_mux") (Primitive.Multiplexer 2);
+      Arch.Builder.add b (nm "fu") (Primitive.alu ~with_mul:(has_multiplier config ~row ~col) ());
+      Arch.Builder.add b (nm "reg") Primitive.Register;
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = nm "mux_a"; port = "out" }
+        ~dst:{ Arch.inst = nm "fu"; port = "in0" };
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = nm "mux_b"; port = "out" }
+        ~dst:{ Arch.inst = nm "fu"; port = "in1" };
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = nm "fu"; port = "out" }
+        ~dst:{ Arch.inst = nm "reg_mux"; port = "in0" };
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = nm "mux_bp"; port = "out" }
+        ~dst:{ Arch.inst = nm "reg_mux"; port = "in1" };
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = nm "reg_mux"; port = "out" }
+        ~dst:{ Arch.inst = nm "reg"; port = "in" }
+    done
+  done;
+  (* memory ports, one per row, with address and data muxes fed by the
+     row's blocks *)
+  for row = 0 to config.rows - 1 do
+    let mem = Printf.sprintf "mem%d" row in
+    Arch.Builder.add b mem Primitive.mem_port;
+    Arch.Builder.add b (mem ^ "_mux_a") (Primitive.Multiplexer config.cols);
+    Arch.Builder.add b (mem ^ "_mux_d") (Primitive.Multiplexer config.cols);
+    Arch.Builder.connect b
+      ~src:{ Arch.inst = mem ^ "_mux_a"; port = "out" }
+      ~dst:{ Arch.inst = mem; port = "in0" };
+    Arch.Builder.connect b
+      ~src:{ Arch.inst = mem ^ "_mux_d"; port = "out" }
+      ~dst:{ Arch.inst = mem; port = "in1" };
+    for col = 0 to config.cols - 1 do
+      let src = block_out ~row ~col in
+      Arch.Builder.connect b ~src
+        ~dst:{ Arch.inst = mem ^ "_mux_a"; port = Printf.sprintf "in%d" col };
+      Arch.Builder.connect b ~src
+        ~dst:{ Arch.inst = mem ^ "_mux_d"; port = Printf.sprintf "in%d" col }
+    done
+  done;
+  (* I/O pads: the pad input mux selects among its bus's block outputs;
+     the pad output is a mux source for those same blocks *)
+  List.iter
+    (fun (pad, bus) ->
+      let blocks = pad_blocks config bus in
+      Arch.Builder.add b pad Primitive.io_pad;
+      Arch.Builder.add b (pad ^ "_imux") (Primitive.Multiplexer (List.length blocks));
+      List.iteri
+        (fun i (row, col) ->
+          Arch.Builder.connect b ~src:(block_out ~row ~col)
+            ~dst:{ Arch.inst = pad ^ "_imux"; port = Printf.sprintf "in%d" i })
+        blocks;
+      Arch.Builder.connect b
+        ~src:{ Arch.inst = pad ^ "_imux"; port = "out" }
+        ~dst:{ Arch.inst = pad; port = "in0" })
+    pads;
+  (* operand/bypass mux input wiring *)
+  for row = 0 to config.rows - 1 do
+    for col = 0 to config.cols - 1 do
+      let nm part = block (block_name ~row ~col) part in
+      List.iteri
+        (fun i src ->
+          let port = Printf.sprintf "in%d" i in
+          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_a"; port };
+          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_b"; port };
+          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_bp"; port })
+        (mux_sources ~row ~col)
+    done
+  done;
+  Arch.Builder.freeze b
+
+let topology_to_string = function Orthogonal -> "orth" | Diagonal -> "diag"
+let fu_mix_to_string = function Homogeneous -> "homo" | Heterogeneous -> "hetero"
+
+let paper_configs ~size =
+  [
+    ("hetero-orth", { rows = size; cols = size; topology = Orthogonal; fu_mix = Heterogeneous });
+    ("hetero-diag", { rows = size; cols = size; topology = Diagonal; fu_mix = Heterogeneous });
+    ("homo-orth", { rows = size; cols = size; topology = Orthogonal; fu_mix = Homogeneous });
+    ("homo-diag", { rows = size; cols = size; topology = Diagonal; fu_mix = Homogeneous });
+  ]
+
+let find_config ~size name = List.assoc_opt name (paper_configs ~size)

@@ -1,0 +1,60 @@
+(** The paper's test architectures (§5, Figs. 3 & 6).
+
+    Each is an R×C grid of functional blocks.  A block holds two
+    operand multiplexers, one ALU, a bypass multiplexer providing a
+    route-through lane, and an output register capturing either the
+    ALU result or the bypassed value (Fig. 3); block outputs drive the
+    input muxes of topological neighbours.  The
+    periphery carries one I/O pad per edge position, wired to the
+    adjacent block; each row shares one memory port (Fig. 6), readable
+    and writable by every block in the row.
+
+    Axes of variation, exactly as evaluated in Table 2:
+    - {b topology}: [Orthogonal] (N/S/E/W neighbours) vs. [Diagonal]
+      (adds the four diagonals; input muxes widen accordingly);
+    - {b functional-unit mix}: [Homogeneous] (every ALU multiplies) vs.
+      [Heterogeneous] (multipliers only on a checkerboard — half the
+      ALUs);
+    - context count is {e not} part of the structure: it is the [ii]
+      argument given to the MRRG generator. *)
+
+type topology = Orthogonal | Diagonal
+type fu_mix = Homogeneous | Heterogeneous
+
+type config = {
+  rows : int;
+  cols : int;
+  topology : topology;
+  fu_mix : fu_mix;
+}
+
+val default : config
+(** The paper's 4×4 array, Orthogonal, Homogeneous. *)
+
+val make : config -> Arch.t
+(** Elaborate the grid into a flat architecture netlist. *)
+
+val block_fu : row:int -> col:int -> string
+(** Instance name of the ALU of the block at (row, col) — for tests
+    and result rendering. *)
+
+val block_out : row:int -> col:int -> Arch.endpoint
+(** The block's registered output endpoint. *)
+
+val block_fu_out : row:int -> col:int -> Arch.endpoint
+(** The block's combinational output: the latency-0 ALU result is
+    exposed to the interconnect directly as well as through the output
+    register, so a block can compute and forward a routed value in the
+    same context. *)
+
+val has_multiplier : config -> row:int -> col:int -> bool
+(** Checkerboard predicate used for the heterogeneous mix. *)
+
+val paper_configs : size:int -> (string * config) list
+(** The four structural architectures of Table 2 (context count is
+    applied later), named ["hetero-orth"], ["hetero-diag"],
+    ["homo-orth"], ["homo-diag"], at [size]×[size]. *)
+
+val find_config : size:int -> string -> config option
+val topology_to_string : topology -> string
+val fu_mix_to_string : fu_mix -> string

@@ -1,0 +1,50 @@
+module Op = Cgra_dfg.Op
+
+type fu_spec = {
+  supported : Op.t list;
+  n_inputs : int;
+  latency : int;
+  initiation_interval : int;
+}
+
+type t = Func_unit of fu_spec | Multiplexer of int | Register
+
+let alu ?(with_mul = true) () =
+  let base = [ Op.Const; Op.Add; Op.Sub; Op.Shl; Op.Shr; Op.And; Op.Or; Op.Xor ] in
+  Func_unit
+    {
+      supported = (if with_mul then Op.Mul :: base else base);
+      n_inputs = 2;
+      latency = 0;
+      initiation_interval = 1;
+    }
+
+let io_pad =
+  Func_unit
+    { supported = [ Op.Input; Op.Output ]; n_inputs = 1; latency = 0; initiation_interval = 1 }
+
+let mem_port =
+  Func_unit
+    { supported = [ Op.Load; Op.Store ]; n_inputs = 2; latency = 0; initiation_interval = 1 }
+
+let input_port_names = function
+  | Func_unit { n_inputs; _ } -> List.init n_inputs (fun i -> Printf.sprintf "in%d" i)
+  | Multiplexer n -> List.init n (fun i -> Printf.sprintf "in%d" i)
+  | Register -> [ "in" ]
+
+let output_port_names = function
+  | Func_unit _ | Multiplexer _ | Register -> [ "out" ]
+
+let supports t op =
+  match t with
+  | Func_unit { supported; _ } -> List.exists (Op.equal op) supported
+  | Multiplexer _ | Register -> false
+
+let describe = function
+  | Func_unit { supported; n_inputs; latency; initiation_interval } ->
+      Printf.sprintf "fu inputs=%d latency=%d ii=%d ops=%s" n_inputs latency initiation_interval
+        (String.concat "," (List.map Op.to_string supported))
+  | Multiplexer n -> Printf.sprintf "mux %d" n
+  | Register -> "reg"
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

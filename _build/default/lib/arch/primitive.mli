@@ -1,0 +1,47 @@
+(** Architecture primitives — the leaves of a CGRA description.
+
+    Each primitive expands to the MRRG fragments of the paper's
+    Figs. 1–2: multiplexers and registers become routing-resource
+    nodes, functional units become operand/execute/result node groups
+    with their latency and initiation interval unrolled over contexts. *)
+
+type fu_spec = {
+  supported : Cgra_dfg.Op.t list;  (** operations this unit can execute *)
+  n_inputs : int;                  (** operand ports (0, 1 or 2) *)
+  latency : int;                   (** cycles from operand capture to result *)
+  initiation_interval : int;       (** cycles between successive issues *)
+}
+
+type t =
+  | Func_unit of fu_spec
+  | Multiplexer of int  (** dynamically reconfigurable n-to-1 selector *)
+  | Register            (** moves a value to the next cycle *)
+
+val alu : ?with_mul:bool -> unit -> t
+(** The paper's RISC-like ALU: add/sub/shl/shr/and/or/xor/const, plus
+    mul when [with_mul] (default true); latency 0, II 1, two operand
+    ports. *)
+
+val io_pad : t
+(** Peripheral I/O block: a functional unit accepting [Input] and
+    [Output] operations, one operand port. *)
+
+val mem_port : t
+(** Row-shared memory access port: executes [Load] and [Store]. *)
+
+val input_port_names : t -> string list
+(** Input port names, in operand order for functional units
+    (["in0"; "in1"; ...], mux inputs likewise, register ["in"]). *)
+
+val output_port_names : t -> string list
+(** Output ports (always ["out"] for value-producing primitives, [[]]
+    for pure-sink functional units — none of the built-ins are). *)
+
+val supports : t -> Cgra_dfg.Op.t -> bool
+(** Can a [Func_unit] primitive execute the operation?  [false] for
+    routing primitives. *)
+
+val describe : t -> string
+(** Short human-readable form used by the ADL printer. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array Cgra_dfg Cgra_mrrg Cgra_util Check Formulation Hashtbl List Mapping Set

@@ -1,0 +1,1 @@
+lib/core/anneal.mli: Cgra_dfg Cgra_mrrg Cgra_util Mapping

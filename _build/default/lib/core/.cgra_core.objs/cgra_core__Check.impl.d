@@ -1,0 +1,1 @@
+lib/core/check.ml: Cgra_dfg Cgra_mrrg Format Hashtbl List Mapping Queue

@@ -1,0 +1,1 @@
+lib/core/configgen.ml: Buffer Cgra_dfg Cgra_mrrg Format Hashtbl List Mapping Printf

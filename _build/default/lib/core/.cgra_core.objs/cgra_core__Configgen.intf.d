@@ -1,0 +1,1 @@
+lib/core/configgen.mli: Cgra_dfg Cgra_mrrg Mapping

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Array Cgra_dfg Formulation Hashtbl List Mapping

@@ -1,0 +1,1 @@
+lib/core/formulation.ml: Array Cgra_dfg Cgra_ilp Cgra_mrrg Format Hashtbl List Option Printf Queue

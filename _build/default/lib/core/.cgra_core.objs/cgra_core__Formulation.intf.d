@@ -1,0 +1,1 @@
+lib/core/formulation.mli: Cgra_dfg Cgra_ilp Cgra_mrrg Format Hashtbl

@@ -1,0 +1,1 @@
+lib/core/ilp_mapper.ml: Anneal Array Cgra_dfg Cgra_ilp Cgra_util Check Extract Format Formulation Hashtbl List Mapping Printf String

@@ -1,0 +1,1 @@
+lib/core/ilp_mapper.mli: Cgra_dfg Cgra_ilp Cgra_mrrg Cgra_util Format Formulation Mapping

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Buffer Cgra_dfg Cgra_mrrg Format Hashtbl List Printf

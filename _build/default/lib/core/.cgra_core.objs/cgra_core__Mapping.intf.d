@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Cgra_dfg Cgra_mrrg Format Hashtbl

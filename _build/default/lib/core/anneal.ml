@@ -1,0 +1,371 @@
+module Dfg = Cgra_dfg.Dfg
+module Mrrg = Cgra_mrrg.Mrrg
+module Rng = Cgra_util.Rng
+module Deadline = Cgra_util.Deadline
+
+type params = {
+  seed : int;
+  moves_per_temperature : int;
+  initial_temperature : float;
+  cooling : float;
+  minimum_temperature : float;
+  congestion_penalty : int;
+}
+
+let moderate =
+  {
+    seed = 1;
+    moves_per_temperature = 400;
+    initial_temperature = 20.0;
+    cooling = 0.92;
+    minimum_temperature = 0.05;
+    congestion_penalty = 12;
+  }
+
+let thorough =
+  { moderate with moves_per_temperature = 1200; cooling = 0.95 }
+
+type stats = {
+  moves_tried : int;
+  moves_accepted : int;
+  final_cost : int;
+  final_overuse : int;
+  unrouted : int;
+}
+
+type result = Mapped of Mapping.t * stats | Failed of stats
+
+(* ------------------------------------------------------------------ *)
+(* Mutable mapping state                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Ipq = Set.Make (struct
+  type t = int * int (* distance, node *)
+
+  let compare = compare
+end)
+
+type state = {
+  dfg : Dfg.t;
+  mrrg : Mrrg.t;
+  params : params;
+  rng : Rng.t;
+  cand : int array array;          (* op -> candidate FU nodes *)
+  place : int array;               (* op -> hosting FU node *)
+  fu_host : (int, int) Hashtbl.t;  (* FU node -> op *)
+  values : Dfg.value array;
+  value_of_producer : (int, int) Hashtbl.t;
+  paths : int list array array;    (* j -> k -> route nodes *)
+  refs : (int, int) Hashtbl.t array; (* j -> node -> #sink paths *)
+  parents : (int, int) Hashtbl.t array;
+      (* j -> node -> its tree parent towards the producer (-1 at a
+         producer output); lets each sink report its exact path *)
+  nvals : int array;               (* node -> #values present *)
+  unrouted_sinks : int array;      (* j -> #unroutable sinks *)
+  mutable total_usage : int;
+  mutable overuse : int;
+}
+
+let cost st =
+  st.total_usage + (st.params.congestion_penalty * st.overuse)
+  + (100_000 * Array.fold_left ( + ) 0 st.unrouted_sinks)
+
+let feasible st =
+  st.overuse = 0 && Array.for_all (fun u -> u = 0) st.unrouted_sinks
+
+(* node bookkeeping for one value *)
+let add_node st j n =
+  let r = st.refs.(j) in
+  match Hashtbl.find_opt r n with
+  | Some c -> Hashtbl.replace r n (c + 1)
+  | None ->
+      Hashtbl.replace r n 1;
+      st.total_usage <- st.total_usage + 1;
+      if st.nvals.(n) >= 1 then st.overuse <- st.overuse + 1;
+      st.nvals.(n) <- st.nvals.(n) + 1
+
+let rip_value st j =
+  Hashtbl.iter
+    (fun n _ ->
+      st.total_usage <- st.total_usage - 1;
+      st.nvals.(n) <- st.nvals.(n) - 1;
+      if st.nvals.(n) >= 1 then st.overuse <- st.overuse - 1)
+    st.refs.(j);
+  Hashtbl.reset st.refs.(j);
+  Hashtbl.reset st.parents.(j);
+  Array.fill st.paths.(j) 0 (Array.length st.paths.(j)) [];
+  st.unrouted_sinks.(j) <- 0
+
+(* Cheapest path from the value's current tree (or the producer output)
+   to the sink's operand port, with congestion penalties. *)
+let route_sink st j target =
+  let n = Mrrg.n_nodes st.mrrg in
+  let dist = Array.make n max_int in
+  let prev = Array.make n (-1) in
+  let producer = st.values.(j).Dfg.producer in
+  let sources =
+    let outs =
+      List.filter (fun m -> Mrrg.is_route st.mrrg m) (Mrrg.fanouts st.mrrg st.place.(producer))
+    in
+    if Hashtbl.length st.refs.(j) = 0 then outs
+    else Hashtbl.fold (fun node _ acc -> node :: acc) st.refs.(j) outs
+  in
+  let pq = ref Ipq.empty in
+  List.iter
+    (fun s ->
+      if dist.(s) > 0 then begin
+        dist.(s) <- 0;
+        pq := Ipq.add (0, s) !pq
+      end)
+    sources;
+  let node_cost m =
+    let others = st.nvals.(m) - if Hashtbl.mem st.refs.(j) m then 1 else 0 in
+    1 + if others > 0 then st.params.congestion_penalty else 0
+  in
+  let rec loop () =
+    match Ipq.min_elt_opt !pq with
+    | None -> None
+    | Some ((d, u) as e) ->
+        pq := Ipq.remove e !pq;
+        if u = target then Some d
+        else if d > dist.(u) then loop ()
+        else begin
+          List.iter
+            (fun m ->
+              if Mrrg.is_route st.mrrg m then begin
+                let nd = d + node_cost m in
+                if nd < dist.(m) then begin
+                  dist.(m) <- nd;
+                  prev.(m) <- u;
+                  pq := Ipq.add (nd, m) !pq
+                end
+              end)
+            (Mrrg.fanouts st.mrrg u);
+          loop ()
+        end
+  in
+  match loop () with
+  | None -> None
+  | Some _ ->
+      let rec walk acc n = if n = -1 then acc else walk (n :: acc) prev.(n) in
+      Some (walk [] target)
+
+let route_value st j =
+  rip_value st j;
+  List.iteri
+    (fun k (sink : Dfg.edge) ->
+      let p_dst = st.place.(sink.Dfg.dst) in
+      let target =
+        List.find_opt
+          (fun i -> (Mrrg.node st.mrrg i).Mrrg.operand = Some sink.Dfg.operand)
+          (Mrrg.fanins st.mrrg p_dst)
+      in
+      match target with
+      | None -> st.unrouted_sinks.(j) <- st.unrouted_sinks.(j) + 1
+      | Some target -> (
+          match route_sink st j target with
+          | None -> st.unrouted_sinks.(j) <- st.unrouted_sinks.(j) + 1
+          | Some segment ->
+              (* graft the new segment onto the value's routing tree *)
+              let parents = st.parents.(j) in
+              (match segment with
+              | first :: _ ->
+                  if not (Hashtbl.mem parents first) then Hashtbl.replace parents first (-1)
+              | [] -> ());
+              let rec chain = function
+                | a :: (b :: _ as rest) ->
+                    Hashtbl.replace parents b a;
+                    chain rest
+                | [ _ ] | [] -> ()
+              in
+              chain segment;
+              (* this sink's exact path: walk the tree back to a
+                 producer output *)
+              let rec up acc n =
+                match Hashtbl.find_opt parents n with
+                | Some p when p >= 0 -> up (n :: acc) p
+                | Some _ | None -> n :: acc
+              in
+              st.paths.(j).(k) <- up [] target;
+              List.iter (add_node st j) segment))
+    st.values.(j).Dfg.sinks
+
+(* Values whose routing is affected by moving operation q. *)
+let touched_values st q =
+  let vs = ref [] in
+  (match Hashtbl.find_opt st.value_of_producer q with
+  | Some j -> vs := j :: !vs
+  | None -> ());
+  List.iter
+    (fun (e : Dfg.edge) ->
+      match Hashtbl.find_opt st.value_of_producer e.Dfg.src with
+      | Some j -> if not (List.mem j !vs) then vs := j :: !vs
+      | None -> ())
+    (Dfg.in_edges st.dfg q);
+  !vs
+
+(* ------------------------------------------------------------------ *)
+(* Initial placement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let initial_placement rng cand n_ops =
+  let place = Array.make n_ops (-1) in
+  let host = Hashtbl.create 64 in
+  let order = Array.init n_ops (fun q -> q) in
+  let rec attempt tries =
+    if tries = 0 then None
+    else begin
+      Hashtbl.reset host;
+      Array.fill place 0 n_ops (-1);
+      Rng.shuffle rng order;
+      let ok = ref true in
+      Array.iter
+        (fun q ->
+          if !ok then begin
+            let free = Array.to_list cand.(q) |> List.filter (fun p -> not (Hashtbl.mem host p)) in
+            match free with
+            | [] -> ok := false
+            | _ ->
+                let p = Rng.choose_list rng free in
+                place.(q) <- p;
+                Hashtbl.replace host p q
+          end)
+        order;
+      if !ok then Some (place, host) else attempt (tries - 1)
+    end
+  in
+  attempt 20
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let map ?(params = moderate) ?(deadline = Deadline.none) dfg mrrg =
+  let rng = Rng.create ~seed:params.seed in
+  let n_ops = Dfg.node_count dfg in
+  let cand = Array.init n_ops (fun q -> Array.of_list (Formulation.candidates dfg mrrg q)) in
+  let values = Array.of_list (Dfg.values dfg) in
+  let fail = Failed { moves_tried = 0; moves_accepted = 0; final_cost = max_int; final_overuse = 0; unrouted = 0 } in
+  if Array.exists (fun c -> Array.length c = 0) cand then fail
+  else
+    match initial_placement rng cand n_ops with
+    | None -> fail
+    | Some (place, fu_host) ->
+        let value_of_producer = Hashtbl.create 64 in
+        Array.iteri (fun j (v : Dfg.value) -> Hashtbl.replace value_of_producer v.Dfg.producer j) values;
+        let st =
+          {
+            dfg;
+            mrrg;
+            params;
+            rng;
+            cand;
+            place;
+            fu_host;
+            values;
+            value_of_producer;
+            paths = Array.map (fun (v : Dfg.value) -> Array.make (List.length v.Dfg.sinks) []) values;
+            refs = Array.map (fun _ -> Hashtbl.create 32) values;
+            parents = Array.map (fun _ -> Hashtbl.create 32) values;
+            nvals = Array.make (Mrrg.n_nodes mrrg) 0;
+            unrouted_sinks = Array.make (Array.length values) 0;
+            total_usage = 0;
+            overuse = 0;
+          }
+        in
+        Array.iteri (fun j _ -> route_value st j) values;
+        let moves_tried = ref 0 and moves_accepted = ref 0 in
+        let temperature = ref params.initial_temperature in
+        let stop = ref (feasible st) in
+        while (not !stop) && !temperature > params.minimum_temperature do
+          for _ = 1 to params.moves_per_temperature do
+            if (not !stop) && not (Deadline.expired deadline) then begin
+              incr moves_tried;
+              let q = Rng.int rng n_ops in
+              if Array.length st.cand.(q) > 1 then begin
+                let p_old = st.place.(q) in
+                let p_new = Rng.choose rng st.cand.(q) in
+                if p_new <> p_old then begin
+                  let occupant = Hashtbl.find_opt st.fu_host p_new in
+                  let legal_swap =
+                    match occupant with
+                    | None -> true
+                    | Some q2 -> Array.exists (fun p -> p = p_old) st.cand.(q2)
+                  in
+                  if legal_swap then begin
+                    let before = cost st in
+                    (* apply *)
+                    let affected =
+                      match occupant with
+                      | None -> touched_values st q
+                      | Some q2 ->
+                          List.sort_uniq compare (touched_values st q @ touched_values st q2)
+                    in
+                    let apply () =
+                      st.place.(q) <- p_new;
+                      Hashtbl.replace st.fu_host p_new q;
+                      (match occupant with
+                      | Some q2 ->
+                          st.place.(q2) <- p_old;
+                          Hashtbl.replace st.fu_host p_old q2
+                      | None -> Hashtbl.remove st.fu_host p_old);
+                      List.iter (route_value st) affected
+                    in
+                    let unapply () =
+                      st.place.(q) <- p_old;
+                      Hashtbl.replace st.fu_host p_old q;
+                      (match occupant with
+                      | Some q2 ->
+                          st.place.(q2) <- p_new;
+                          Hashtbl.replace st.fu_host p_new q2
+                      | None -> Hashtbl.remove st.fu_host p_new);
+                      List.iter (route_value st) affected
+                    in
+                    apply ();
+                    let after = cost st in
+                    let delta = float_of_int (after - before) in
+                    let accept =
+                      after <= before
+                      || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+                    in
+                    if accept then begin
+                      incr moves_accepted;
+                      if feasible st then stop := true
+                    end
+                    else unapply ()
+                  end
+                end
+              end
+            end
+          done;
+          if Deadline.expired deadline then stop := true;
+          temperature := !temperature *. params.cooling
+        done;
+        let stats =
+          {
+            moves_tried = !moves_tried;
+            moves_accepted = !moves_accepted;
+            final_cost = cost st;
+            final_overuse = st.overuse;
+            unrouted = Array.fold_left ( + ) 0 st.unrouted_sinks;
+          }
+        in
+        if feasible st then begin
+          let placement = Array.to_list (Array.mapi (fun q p -> (q, p)) st.place) in
+          let routes =
+            Array.to_list
+              (Array.mapi
+                 (fun j (v : Dfg.value) ->
+                   List.mapi
+                     (fun k sink ->
+                       { Mapping.value_producer = v.Dfg.producer; sink; nodes = st.paths.(j).(k) })
+                     v.Dfg.sinks)
+                 values)
+            |> List.concat
+          in
+          let mapping = { Mapping.dfg; mrrg; placement; routes } in
+          match Check.run mapping with
+          | Ok () -> Mapped (mapping, stats)
+          | Error _ -> Failed stats
+        end
+        else Failed stats

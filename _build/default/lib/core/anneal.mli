@@ -1,0 +1,47 @@
+(** The simulated-annealing baseline mapper (paper Fig. 7, right path;
+    compared against the ILP mapper in Fig. 8).
+
+    Classic DRESC/SPR-style annealing: operations are placed on legal
+    functional-unit nodes and every sub-value is routed by cheapest
+    path with congestion penalties; moves relocate (or swap) a single
+    operation and re-route the affected values.  The mapper is a
+    heuristic — failure to map proves nothing, which is precisely the
+    contrast with the ILP mapper the paper draws. *)
+
+module Dfg := Cgra_dfg.Dfg
+module Mrrg := Cgra_mrrg.Mrrg
+
+type params = {
+  seed : int;
+  moves_per_temperature : int;  (** inner-loop iterations *)
+  initial_temperature : float;
+  cooling : float;              (** geometric factor in (0,1) *)
+  minimum_temperature : float;
+  congestion_penalty : int;     (** extra cost of an over-used node *)
+}
+
+val moderate : params
+(** The paper runs its annealer "with moderate parameters"; these
+    defaults are sized so a 4×4 mapping attempt takes on the order of
+    seconds. *)
+
+val thorough : params
+(** A slower schedule (3× the moves, gentler cooling) that finds
+    mappings on very tight instances where {!moderate} plateaus; used
+    by the ILP mapper's warm start when the budget allows. *)
+
+type stats = {
+  moves_tried : int;
+  moves_accepted : int;
+  final_cost : int;
+  final_overuse : int;
+  unrouted : int;
+}
+
+type result =
+  | Mapped of Mapping.t * stats
+  | Failed of stats  (** no conclusion about feasibility *)
+
+val map : ?params:params -> ?deadline:Cgra_util.Deadline.t -> Dfg.t -> Mrrg.t -> result
+(** Run one annealing attempt.  Returned mappings are always verified
+    with {!Check}. *)

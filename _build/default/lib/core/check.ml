@@ -1,0 +1,124 @@
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Mrrg = Cgra_mrrg.Mrrg
+
+let run (m : Mapping.t) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let dfg = m.Mapping.dfg and mrrg = m.Mapping.mrrg in
+  let op_name q = (Dfg.node dfg q).Dfg.name in
+  let node_name i = (Mrrg.node mrrg i).Mrrg.name in
+  (* --- placement --- *)
+  let placed = Hashtbl.create 64 in
+  List.iter
+    (fun (q, p) ->
+      if Hashtbl.mem placed q then err "operation %s placed twice" (op_name q);
+      Hashtbl.replace placed q p;
+      if not (Mrrg.is_func mrrg p) then err "%s placed on routing node %s" (op_name q) (node_name p)
+      else if not (Mrrg.supports mrrg p (Dfg.node dfg q).Dfg.op) then
+        err "%s placed on %s which cannot execute %s" (op_name q) (node_name p)
+          (Op.to_string (Dfg.node dfg q).Dfg.op))
+    m.Mapping.placement;
+  List.iter
+    (fun (n : Dfg.node) ->
+      if not (Hashtbl.mem placed n.Dfg.id) then err "operation %s not placed" n.Dfg.name)
+    (Dfg.nodes dfg);
+  let by_fu = Hashtbl.create 64 in
+  List.iter
+    (fun (q, p) ->
+      (match Hashtbl.find_opt by_fu p with
+      | Some q' -> err "functional unit %s hosts both %s and %s" (node_name p) (op_name q') (op_name q)
+      | None -> ());
+      Hashtbl.replace by_fu p q)
+    m.Mapping.placement;
+  (* --- route exclusivity across values --- *)
+  let node_owner = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Mapping.route) ->
+      List.iter
+        (fun i ->
+          if not (Mrrg.is_route mrrg i) then
+            err "route for %s uses non-routing node %s" (op_name r.Mapping.value_producer)
+              (node_name i);
+          match Hashtbl.find_opt node_owner i with
+          | Some owner when owner <> r.Mapping.value_producer ->
+              err "routing node %s carries values of both %s and %s" (node_name i)
+                (op_name owner)
+                (op_name r.Mapping.value_producer)
+          | _ -> Hashtbl.replace node_owner i r.Mapping.value_producer)
+        r.Mapping.nodes)
+    m.Mapping.routes;
+  (* --- per-sink connectivity --- *)
+  let check_route (r : Mapping.route) =
+    let producer = r.Mapping.value_producer in
+    let sink_op = r.Mapping.sink.Dfg.dst and operand = r.Mapping.sink.Dfg.operand in
+    match (Hashtbl.find_opt placed producer, Hashtbl.find_opt placed sink_op) with
+    | None, _ | _, None -> () (* already reported *)
+    | Some p_src, Some p_dst -> (
+        let allowed = Hashtbl.create 64 in
+        List.iter (fun i -> Hashtbl.replace allowed i ()) r.Mapping.nodes;
+        (* target: the operand port of the sink's functional unit *)
+        let target =
+          List.find_opt
+            (fun i -> (Mrrg.node mrrg i).Mrrg.operand = Some operand)
+            (Mrrg.fanins mrrg p_dst)
+        in
+        match target with
+        | None ->
+            err "route %s->%s.%d: host %s has no operand-%d port" (op_name producer)
+              (op_name sink_op) operand (node_name p_dst) operand
+        | Some target ->
+            if not (Hashtbl.mem allowed target) then
+              err "route %s->%s.%d does not include the sink port %s" (op_name producer)
+                (op_name sink_op) operand (node_name target)
+            else begin
+              (* BFS from the producer's output inside the allowed set *)
+              let start_nodes =
+                List.filter (fun i -> Hashtbl.mem allowed i) (Mrrg.fanouts mrrg p_src)
+              in
+              if start_nodes = [] then
+                err "route %s->%s.%d does not start at the producer output" (op_name producer)
+                  (op_name sink_op) operand
+              else begin
+                let visited = Hashtbl.create 64 in
+                let queue = Queue.create () in
+                List.iter
+                  (fun s ->
+                    Hashtbl.replace visited s ();
+                    Queue.push s queue)
+                  start_nodes;
+                let reached = ref false in
+                while not (Queue.is_empty queue) do
+                  let x = Queue.pop queue in
+                  if x = target then reached := true;
+                  List.iter
+                    (fun y ->
+                      if Hashtbl.mem allowed y && not (Hashtbl.mem visited y) then begin
+                        Hashtbl.replace visited y ();
+                        Queue.push y queue
+                      end)
+                    (Mrrg.fanouts mrrg x)
+                done;
+                if not !reached then
+                  err "route %s->%s.%d is disconnected" (op_name producer) (op_name sink_op)
+                    operand
+              end
+            end)
+  in
+  (* every DFG edge must have a route *)
+  let route_for = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Mapping.route) ->
+      Hashtbl.replace route_for (r.Mapping.sink.Dfg.dst, r.Mapping.sink.Dfg.operand) r)
+    m.Mapping.routes;
+  List.iter
+    (fun (e : Dfg.edge) ->
+      match Hashtbl.find_opt route_for (e.Dfg.dst, e.Dfg.operand) with
+      | Some r -> check_route r
+      | None ->
+          err "no route for edge %s -> %s.%d" (op_name e.Dfg.src) (op_name e.Dfg.dst)
+            e.Dfg.operand)
+    (Dfg.edges dfg);
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+let is_legal m = run m = Ok ()

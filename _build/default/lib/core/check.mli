@@ -1,0 +1,16 @@
+(** Independent mapping legality checker.
+
+    Validates a {!Mapping.t} against the raw DFG and MRRG using graph
+    search only — none of the ILP machinery — so it can vouch for
+    solutions produced by either mapper:
+
+    - every operation sits on exactly one functional unit that supports
+      it; no functional unit hosts two operations;
+    - every sub-value's route is a connected directed corridor from the
+      producer's output to the correct operand port of the consumer's
+      functional unit;
+    - no routing node carries two different values. *)
+
+val run : Mapping.t -> (unit, string list) result
+
+val is_legal : Mapping.t -> bool

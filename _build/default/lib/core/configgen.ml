@@ -1,0 +1,81 @@
+module Mrrg = Cgra_mrrg.Mrrg
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+
+type mux_setting = { mux_node : int; selected_input : int; context : int }
+type fu_setting = { fu_node : int; opcode : Op.t; op_name : string; context : int }
+type t = { muxes : mux_setting list; fus : fu_setting list; n_contexts : int }
+
+let generate (m : Mapping.t) =
+  let mrrg = m.Mapping.mrrg and dfg = m.Mapping.dfg in
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let used = Mapping.used_route_nodes m in
+  (* multiplexer internal nodes are the multi-fanin routing nodes *)
+  let muxes =
+    Hashtbl.fold
+      (fun node producer acc ->
+        let fanins = List.filter (fun f -> Mrrg.is_route mrrg f) (Mrrg.fanins mrrg node) in
+        if List.length fanins < 2 then acc
+        else begin
+          let driven =
+            List.mapi (fun idx f -> (idx, f)) fanins
+            |> List.filter (fun (_, f) ->
+                   match Hashtbl.find_opt used f with
+                   | Some p -> p = producer
+                   | None -> false)
+          in
+          match driven with
+          | [ (selected_input, _) ] ->
+              { mux_node = node; selected_input; context = (Mrrg.node mrrg node).Mrrg.ctx }
+              :: acc
+          | [] ->
+              err "multiplexer %s carries a value but no input drives it"
+                (Mrrg.node mrrg node).Mrrg.name;
+              acc
+          | _ ->
+              err "multiplexer %s has several driven inputs" (Mrrg.node mrrg node).Mrrg.name;
+              acc
+        end)
+      used []
+  in
+  let fus =
+    List.map
+      (fun (q, p) ->
+        let op = (Dfg.node dfg q).Dfg.op in
+        {
+          fu_node = p;
+          opcode = op;
+          op_name = (Dfg.node dfg q).Dfg.name;
+          context = (Mrrg.node mrrg p).Mrrg.ctx;
+        })
+      m.Mapping.placement
+  in
+  match !errs with
+  | [] -> Ok { muxes; fus; n_contexts = Mrrg.ii mrrg }
+  | e -> Error (List.rev e)
+
+let to_string (m : Mapping.t) t =
+  let mrrg = m.Mapping.mrrg in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "configuration: %d contexts, %d FU settings, %d mux settings\n" t.n_contexts
+       (List.length t.fus) (List.length t.muxes));
+  for ctx = 0 to t.n_contexts - 1 do
+    Buffer.add_string buf (Printf.sprintf "context %d:\n" ctx);
+    List.iter
+      (fun f ->
+        if f.context = ctx then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s op=%s (%s)\n" (Mrrg.node mrrg f.fu_node).Mrrg.name
+               (Op.to_string f.opcode) f.op_name))
+      t.fus;
+    List.iter
+      (fun (s : mux_setting) ->
+        if s.context = ctx then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s select=%d\n" (Mrrg.node mrrg s.mux_node).Mrrg.name
+               s.selected_input))
+      t.muxes
+  done;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Configuration generation: turn a verified mapping into the
+    per-context control settings a CGRA bitstream would carry.
+
+    For every multiplexer whose output carries a value, the setting
+    records which input is selected; for every functional-unit slot
+    hosting an operation, the opcode.  This is the artefact an
+    architecture evaluation framework hands to RTL simulation — here it
+    doubles as another independent consistency check on mappings
+    (every used multiplexer must have exactly one driven input). *)
+
+module Mrrg := Cgra_mrrg.Mrrg
+module Op := Cgra_dfg.Op
+
+type mux_setting = {
+  mux_node : int;        (** the multiplexer's internal MRRG node *)
+  selected_input : int;  (** index among the mux's route fanins *)
+  context : int;
+}
+
+type fu_setting = {
+  fu_node : int;
+  opcode : Op.t;
+  op_name : string;      (** DFG operation implemented *)
+  context : int;
+}
+
+type t = { muxes : mux_setting list; fus : fu_setting list; n_contexts : int }
+
+val generate : Mapping.t -> (t, string list) result
+(** Derive the configuration.  Errors mirror inconsistencies that
+    {!Check} would also flag (reported here with mux granularity). *)
+
+val to_string : Mapping.t -> t -> string
+(** Human-readable listing, grouped by context. *)

@@ -1,0 +1,37 @@
+module Dfg = Cgra_dfg.Dfg
+
+let mapping (f : Formulation.t) assign =
+  let placement =
+    Hashtbl.fold
+      (fun (p, q) v acc -> if assign.(v) then (q, p) :: acc else acc)
+      f.Formulation.f_vars []
+    |> List.sort compare
+  in
+  let routes =
+    Array.to_list f.Formulation.values
+    |> List.concat_map (fun (value : Dfg.value) ->
+           List.mapi (fun k sink -> (value.Dfg.producer, k, sink)) value.Dfg.sinks)
+    |> List.map (fun (producer, k, sink) ->
+           let j =
+             (* index of the value in the formulation's array *)
+             let found = ref (-1) in
+             Array.iteri
+               (fun idx (v : Dfg.value) -> if v.Dfg.producer = producer then found := idx)
+               f.Formulation.values;
+             !found
+           in
+           let nodes =
+             Hashtbl.fold
+               (fun (i, j', k') v acc ->
+                 if j' = j && k' = k && assign.(v) then i :: acc else acc)
+               f.Formulation.rk_vars []
+             |> List.sort compare
+           in
+           { Mapping.value_producer = producer; sink; nodes })
+  in
+  {
+    Mapping.dfg = f.Formulation.dfg;
+    mrrg = f.Formulation.mrrg;
+    placement;
+    routes;
+  }

@@ -1,0 +1,6 @@
+(** Solution extraction: ILP assignment → {!Mapping.t}. *)
+
+val mapping : Formulation.t -> bool array -> Mapping.t
+(** Read the placement from the true [F] variables and the per-sink
+    routes from the true sub-value variables of a feasible
+    assignment. *)

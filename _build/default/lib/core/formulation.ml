@@ -1,0 +1,293 @@
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Mrrg = Cgra_mrrg.Mrrg
+module Model = Cgra_ilp.Model
+
+type objective = Feasibility | Min_routing | Weighted of (Mrrg.node -> int)
+
+and t = {
+  model : Model.t;
+  dfg : Dfg.t;
+  mrrg : Mrrg.t;
+  values : Dfg.value array;
+  f_vars : (int * int, Model.var) Hashtbl.t;
+  r_vars : (int * int, Model.var) Hashtbl.t;
+  rk_vars : (int * int * int, Model.var) Hashtbl.t;
+}
+
+let candidates dfg mrrg q =
+  let op = (Dfg.node dfg q).Dfg.op in
+  List.filter (fun p -> Mrrg.supports mrrg p op) (Mrrg.func_units mrrg)
+
+(* The operand-o input port of functional-unit node p, if it exists. *)
+let operand_node mrrg p o =
+  List.find_opt (fun i -> (Mrrg.node mrrg i).Mrrg.operand = Some o) (Mrrg.fanins mrrg p)
+
+let route_fanins mrrg i = List.filter (fun m -> Mrrg.is_route mrrg m) (Mrrg.fanins mrrg i)
+let route_fanouts mrrg i = List.filter (fun m -> Mrrg.is_route mrrg m) (Mrrg.fanouts mrrg i)
+
+(* Dataflow-order ranks (cycle-tolerant BFS from source operations),
+   used to stage placement decisions: placing operations in dataflow
+   order lets each placement's routing corridors propagate before the
+   next decision. *)
+let dataflow_ranks dfg =
+  let n = Dfg.node_count dfg in
+  let rank = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun (node : Dfg.node) ->
+      if Dfg.in_edges dfg node.Dfg.id = [] then begin
+        rank.(node.Dfg.id) <- 0;
+        Queue.push node.Dfg.id queue
+      end)
+    (Dfg.nodes dfg);
+  let next = ref 0 in
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    incr next;
+    List.iter
+      (fun (e : Dfg.edge) ->
+        if rank.(e.Dfg.dst) < 0 then begin
+          rank.(e.Dfg.dst) <- !next;
+          Queue.push e.Dfg.dst queue
+        end)
+      (Dfg.out_edges dfg q)
+  done;
+  (* nodes only reachable through back-edges (pure cycles) come last *)
+  Array.iteri (fun q r -> if r < 0 then rank.(q) <- n) rank;
+  rank
+
+let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
+    ?(backward_continuity = true) dfg mrrg =
+  let model = Model.create ~name:(Dfg.name dfg ^ "@mrrg") () in
+  let values = Array.of_list (Dfg.values dfg) in
+  let n_ops = Dfg.node_count dfg in
+  let cand = Array.init n_ops (fun q -> candidates dfg mrrg q) in
+  let f_vars = Hashtbl.create 256 in
+  let r_vars = Hashtbl.create 4096 in
+  let rk_vars = Hashtbl.create 8192 in
+  let fvar p q = Hashtbl.find_opt f_vars (p, q) in
+  let ranks = dataflow_ranks dfg in
+
+  (* ----- placement variables and constraints (1)-(3) ----- *)
+  for q = 0 to n_ops - 1 do
+    let qname = (Dfg.node dfg q).Dfg.name in
+    List.iter
+      (fun p ->
+        let v = Model.add_binary model (Printf.sprintf "F|%s|%s" (Mrrg.node mrrg p).Mrrg.name qname) in
+        (* decide placements before routing details, and in dataflow
+           order: each placement's routing corridors then propagate
+           before the next operation is placed *)
+        Model.set_branch_priority model v (100.0 +. (10.0 *. float_of_int (n_ops - ranks.(q))));
+        Model.set_branch_phase model v true;
+        Hashtbl.replace f_vars (p, q) v)
+      cand.(q);
+    (* (1) every operation is placed exactly once; an empty candidate
+       list yields an unsatisfiable row, i.e. provable infeasibility *)
+    Model.add_row model
+      ~name:(Printf.sprintf "place[%s]" qname)
+      (List.map (fun p -> (1, Hashtbl.find f_vars (p, q))) cand.(q))
+      Model.Eq 1
+  done;
+  (* (2) functional-unit exclusivity *)
+  List.iter
+    (fun p ->
+      let users = ref [] in
+      for q = 0 to n_ops - 1 do
+        match fvar p q with Some v -> users := v :: !users | None -> ()
+      done;
+      if List.length !users > 1 then
+        Model.add_row model
+          ~name:(Printf.sprintf "excl[%s]" (Mrrg.node mrrg p).Mrrg.name)
+          (List.map (fun v -> (1, v)) !users)
+          Model.Le 1)
+    (Mrrg.func_units mrrg);
+
+  (* ----- per-value routing variables and constraints (5)-(9) ----- *)
+  let n_nodes = Mrrg.n_nodes mrrg in
+  let forced_zero = Hashtbl.create 64 in
+  let rvar i j =
+    match Hashtbl.find_opt r_vars (i, j) with
+    | Some v -> v
+    | None ->
+        let v =
+          Model.add_binary model
+            (Printf.sprintf "R|%s|v%d" (Mrrg.node mrrg i).Mrrg.name j)
+        in
+        Hashtbl.replace r_vars (i, j) v;
+        v
+  in
+  Array.iteri
+    (fun j (value : Dfg.value) ->
+      let q' = value.Dfg.producer in
+      let producer_outs =
+        List.concat_map (fun p' -> route_fanouts mrrg p') cand.(q')
+      in
+      let forward =
+        if prune then Mrrg.reachable_from mrrg ~starts:producer_outs
+        else Array.make n_nodes true
+      in
+      let in_value_set = Array.make n_nodes false in
+      List.iteri
+        (fun k (sink : Dfg.edge) ->
+          let q = sink.Dfg.dst and o = sink.Dfg.operand in
+          (* termination nodes: the operand-o port of each candidate
+             host of the sink operation *)
+          let terms =
+            List.filter_map
+              (fun p ->
+                match operand_node mrrg p o with
+                | Some i -> Some (i, p)
+                | None ->
+                    (* host lacks the port: placement there is impossible *)
+                    (match fvar p q with
+                    | Some v ->
+                        if not (Hashtbl.mem forced_zero v) then begin
+                          Hashtbl.replace forced_zero v ();
+                          Model.add_row model [ (1, v) ] Model.Eq 0
+                        end
+                    | None -> ());
+                    None)
+              cand.(q)
+          in
+          let term_of = Hashtbl.create 16 in
+          List.iter (fun (i, p) -> Hashtbl.replace term_of i p) terms;
+          let back =
+            if prune then Mrrg.co_reachable mrrg ~targets:(List.map fst terms)
+            else Array.make n_nodes true
+          in
+          let in_set i = Mrrg.is_route mrrg i && forward.(i) && back.(i) in
+          (* nodes where the sub-value may legally originate *)
+          let is_producer_out = Array.make n_nodes false in
+          List.iter (fun out -> is_producer_out.(out) <- true) producer_outs;
+          let rkvar i =
+            match Hashtbl.find_opt rk_vars (i, j, k) with
+            | Some v -> v
+            | None ->
+                let v =
+                  Model.add_binary model
+                    (Printf.sprintf "Rk|%s|v%d|s%d" (Mrrg.node mrrg i).Mrrg.name j k)
+                in
+                Hashtbl.replace rk_vars (i, j, k) v;
+                v
+            in
+          for i = 0 to n_nodes - 1 do
+            if in_set i then begin
+              in_value_set.(i) <- true;
+              let rk = rkvar i in
+              (* (8) value-level usage *)
+              Model.add_row model [ (1, rk); (-1, rvar i j) ] Model.Le 0;
+              (match Hashtbl.find_opt term_of i with
+              | Some p ->
+                  (* (6), optionally strengthened to an equality:
+                     placing the sink operation at p pins its operand
+                     port, and using the port pins the placement.
+                     Valid because every legal route for this sub-value
+                     must end exactly here. *)
+                  let f = Option.get (fvar p q) in
+                  Model.add_row model [ (1, rk); (-1, f) ]
+                    (if anchor_sinks then Model.Eq else Model.Le)
+                    0
+              | None ->
+                  (* (5) fanout routing: continue through some successor *)
+                  let succs = List.filter in_set (Mrrg.fanouts mrrg i) in
+                  Model.add_row model
+                    ((1, rk) :: List.map (fun m -> (-1, rkvar m)) succs)
+                    Model.Le 0);
+              (* backward continuity: a used node needs a used
+                 predecessor, except where the value is injected by the
+                 producer.  Exactness-preserving (minimal routes always
+                 satisfy it) and a large propagation win. *)
+              if backward_continuity && not is_producer_out.(i) then begin
+                let preds = List.filter in_set (Mrrg.fanins mrrg i) in
+                Model.add_row model
+                  ((1, rk) :: List.map (fun m -> (-1, rkvar m)) preds)
+                  Model.Le 0
+              end
+            end
+          done;
+          (* placements whose operand port lies outside every corridor
+             are impossible for the sink operation *)
+          List.iter
+            (fun (i, p) ->
+              if not (in_set i) then
+                let f = Option.get (fvar p q) in
+                if not (Hashtbl.mem forced_zero f) then begin
+                  Hashtbl.replace forced_zero f ();
+                  Model.add_row model [ (1, f) ] Model.Eq 0
+                end)
+            terms;
+          (* (7) initial fanout at every candidate producer location *)
+          List.iter
+            (fun p' ->
+              let f = Option.get (fvar p' q') in
+              List.iter
+                (fun out ->
+                  if in_set out then
+                    Model.add_row model [ (1, rkvar out); (-1, f) ] Model.Eq 0
+                  else if not (Hashtbl.mem forced_zero f) then begin
+                    (* no corridor from this placement to the sink *)
+                    Hashtbl.replace forced_zero f ();
+                    Model.add_row model [ (1, f) ] Model.Eq 0
+                  end)
+                (route_fanouts mrrg p'))
+            cand.(q'))
+        value.Dfg.sinks;
+      (* (9) multiplexer input exclusivity, value level *)
+      for i = 0 to n_nodes - 1 do
+        if in_value_set.(i) then begin
+          let fins = route_fanins mrrg i in
+          if List.length (Mrrg.fanins mrrg i) > 1 then begin
+            let present =
+              List.filter_map (fun m -> Hashtbl.find_opt r_vars (m, j)) fins
+            in
+            Model.add_row model
+              ((1, rvar i j) :: List.map (fun v -> (-1, v)) present)
+              Model.Eq 0
+          end
+        end
+      done)
+    values;
+
+  (* (4) route exclusivity across values *)
+  let users_of_route = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun (i, _) v ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt users_of_route i) in
+      Hashtbl.replace users_of_route i (v :: l))
+    r_vars;
+  Hashtbl.iter
+    (fun i vars ->
+      if List.length vars > 1 then
+        Model.add_row model
+          ~name:(Printf.sprintf "route_excl[%s]" (Mrrg.node mrrg i).Mrrg.name)
+          (List.map (fun v -> (1, v)) vars)
+          Model.Le 1)
+    users_of_route;
+
+  (* (10) objective *)
+  (match objective with
+  | Feasibility -> Model.set_objective model Model.Feasibility
+  | Min_routing ->
+      Model.set_objective model
+        (Model.Minimize (Hashtbl.fold (fun _ v acc -> (1, v) :: acc) r_vars []))
+  | Weighted weight ->
+      Model.set_objective model
+        (Model.Minimize
+           (Hashtbl.fold
+              (fun (i, _) v acc -> (weight (Mrrg.node mrrg i), v) :: acc)
+              r_vars [])));
+  { model; dfg; mrrg; values; f_vars; r_vars; rk_vars }
+
+type size = { n_f : int; n_r : int; n_rk : int; n_rows : int }
+
+let size t =
+  {
+    n_f = Hashtbl.length t.f_vars;
+    n_r = Hashtbl.length t.r_vars;
+    n_rk = Hashtbl.length t.rk_vars;
+    n_rows = Model.nrows t.model;
+  }
+
+let pp_size fmt s =
+  Format.fprintf fmt "F=%d R=%d Rk=%d rows=%d" s.n_f s.n_r s.n_rk s.n_rows

@@ -1,0 +1,69 @@
+(** The paper's ILP formulation (§4): DFG × MRRG → 0-1 model.
+
+    Three families of binary variables are created (paper §4.1):
+    - [F(p,q)] — operation [q] executes on functional-unit node [p];
+      created only when [p] supports [q]'s operation, which realises
+      the Functional Unit Legality constraint (3) by omission;
+    - [R(i,j)] — routing node [i] carries value [j];
+    - [R(i,j,k)] — routing node [i] carries value [j] on its way to
+      sink [k] (one sink per sub-value, paper Fig. 5).
+
+    Constraints (1)–(9) and objective (10) are emitted as described in
+    the paper, with two implementation refinements documented in
+    DESIGN.md: sub-value variables exist only on routing nodes that lie
+    on some producer→sink corridor (an exactness-preserving pruning),
+    and operand routing is positional (each sink terminates at the
+    operand port its DFG edge names), which on the symmetric-mux test
+    architectures loses no mappings. *)
+
+module Dfg := Cgra_dfg.Dfg
+module Mrrg := Cgra_mrrg.Mrrg
+module Ilp := Cgra_ilp
+
+type objective =
+  | Feasibility        (** decide mappability only (Table 2) *)
+  | Min_routing        (** paper objective (10): minimise used routing nodes *)
+  | Weighted of (Mrrg.node -> int)
+      (** §4.2's weighted variant, e.g. penalising power-hungry nodes *)
+
+and t = {
+  model : Ilp.Model.t;
+  dfg : Dfg.t;
+  mrrg : Mrrg.t;
+  values : Dfg.value array;      (** value index [j] -> producer and sinks *)
+  f_vars : ((int * int), Ilp.Model.var) Hashtbl.t;
+      (** (mrrg func node [p], dfg op [q]) -> F variable *)
+  r_vars : ((int * int), Ilp.Model.var) Hashtbl.t;
+      (** (mrrg route node [i], value [j]) -> R variable *)
+  rk_vars : ((int * int * int), Ilp.Model.var) Hashtbl.t;
+      (** (route node [i], value [j], sink [k]) -> sub-value variable *)
+}
+
+val candidates : Dfg.t -> Mrrg.t -> int -> int list
+(** Functional-unit nodes able to host a DFG operation (constraint (3)
+    by construction).  Shared with the annealing mapper. *)
+
+val build :
+  ?objective:objective ->
+  ?prune:bool ->
+  ?anchor_sinks:bool ->
+  ?backward_continuity:bool ->
+  Dfg.t ->
+  Mrrg.t ->
+  t
+(** Construct the full model.  The three flags select
+    exactness-preserving refinements over the literal paper
+    formulation, all on by default; turning them off reproduces the
+    paper's constraint set verbatim and is used by the ablation
+    benchmarks and equivalence tests:
+    - [prune]: restrict sub-value variables to producer→sink
+      reachability corridors;
+    - [anchor_sinks]: strengthen constraint (6) to an equality at the
+      sink's operand port;
+    - [backward_continuity]: require every used corridor node to have a
+      used predecessor (the dual of constraint (5)). *)
+
+type size = { n_f : int; n_r : int; n_rk : int; n_rows : int }
+
+val size : t -> size
+val pp_size : Format.formatter -> size -> unit

@@ -1,0 +1,112 @@
+module Deadline = Cgra_util.Deadline
+module Solve = Cgra_ilp.Solve
+
+type info = {
+  size : Formulation.size;
+  solve_seconds : float;
+  build_seconds : float;
+  objective_value : int option;
+  proven_optimal : bool;
+}
+
+type result = Mapped of Mapping.t * info | Infeasible of info | Timeout of info
+
+module Model = Cgra_ilp.Model
+module Dfg = Cgra_dfg.Dfg
+
+(* Seed the exact engine's variable phases from a heuristic solution:
+   the first descent of the CDCL search then reproduces the incumbent
+   (or repairs it cheaply), and the optimisation loop starts from its
+   cost.  Hints only — completeness is untouched. *)
+let apply_warm_phases (f : Formulation.t) (m : Mapping.t) =
+  let model = f.Formulation.model in
+  let set v = Model.set_branch_phase model v true in
+  (* the formulation marks every placement variable phase-true as a
+     cold-start heuristic; a warm start needs exactly one per op *)
+  Hashtbl.iter (fun _ v -> Model.set_branch_phase model v false) f.Formulation.f_vars;
+  List.iter
+    (fun (q, p) ->
+      match Hashtbl.find_opt f.Formulation.f_vars (p, q) with
+      | Some v -> set v
+      | None -> ())
+    m.Mapping.placement;
+  let j_of_producer = Hashtbl.create 32 in
+  Array.iteri
+    (fun j (v : Dfg.value) -> Hashtbl.replace j_of_producer v.Dfg.producer j)
+    f.Formulation.values;
+  List.iter
+    (fun (r : Mapping.route) ->
+      match Hashtbl.find_opt j_of_producer r.Mapping.value_producer with
+      | None -> ()
+      | Some j ->
+          let sinks = f.Formulation.values.(j).Dfg.sinks in
+          let k =
+            let rec index i = function
+              | [] -> -1
+              | s :: rest -> if s = r.Mapping.sink then i else index (i + 1) rest
+            in
+            index 0 sinks
+          in
+          if k >= 0 then
+            List.iter
+              (fun i ->
+                (match Hashtbl.find_opt f.Formulation.rk_vars (i, j, k) with
+                | Some v -> set v
+                | None -> ());
+                match Hashtbl.find_opt f.Formulation.r_vars (i, j) with
+                | Some v -> set v
+                | None -> ())
+              r.Mapping.nodes)
+    m.Mapping.routes
+
+let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?prune ?(warm_start = 5.0)
+    dfg mrrg =
+  let t0 = Deadline.now () in
+  let f = Formulation.build ~objective ?prune dfg mrrg in
+  if warm_start > 0.0 then begin
+    let params = if warm_start >= 20.0 then Anneal.thorough else Anneal.moderate in
+    match
+      Anneal.map ~params ~deadline:(Deadline.after ~seconds:warm_start) dfg mrrg
+    with
+    | Anneal.Mapped (m, _) -> apply_warm_phases f m
+    | Anneal.Failed _ -> ()
+  end;
+  let build_seconds = Deadline.elapsed_of ~start:t0 in
+  let report = Solve.solve_report ?deadline ?engine f.Formulation.model in
+  let info ~objective_value ~proven_optimal =
+    {
+      size = Formulation.size f;
+      solve_seconds = report.Solve.solve_seconds;
+      build_seconds;
+      objective_value;
+      proven_optimal;
+    }
+  in
+  match report.Solve.outcome with
+  | Solve.Infeasible -> Infeasible (info ~objective_value:None ~proven_optimal:true)
+  | Solve.Timeout -> Timeout (info ~objective_value:None ~proven_optimal:false)
+  | Solve.Optimal (assign, obj) | Solve.Feasible (assign, obj) ->
+      let proven_optimal =
+        match report.Solve.outcome with Solve.Optimal _ -> true | _ -> false
+      in
+      let mapping = Extract.mapping f assign in
+      (match Check.run mapping with
+      | Ok () -> ()
+      | Error errs ->
+          failwith
+            (Printf.sprintf "Ilp_mapper: solver returned an illegal mapping (bug): %s"
+               (String.concat "; " errs)));
+      let objective_value =
+        match objective with Formulation.Feasibility -> None | _ -> Some obj
+      in
+      Mapped (mapping, info ~objective_value ~proven_optimal)
+
+let result_feasible = function Mapped _ -> true | Infeasible _ | Timeout _ -> false
+
+let pp_result fmt = function
+  | Mapped (m, info) ->
+      Format.fprintf fmt "mapped (cost %d%s, %.2fs)" (Mapping.routing_cost m)
+        (if info.proven_optimal && info.objective_value <> None then ", optimal" else "")
+        info.solve_seconds
+  | Infeasible info -> Format.fprintf fmt "infeasible (proven, %.2fs)" info.solve_seconds
+  | Timeout info -> Format.fprintf fmt "timeout (%.2fs)" info.solve_seconds

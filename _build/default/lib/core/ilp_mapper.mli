@@ -1,0 +1,46 @@
+(** The ILP mapper: the paper's end-to-end flow (Fig. 7, ILP side).
+
+    Builds the formulation from a DFG and an MRRG, hands it to an exact
+    0-1 engine, and extracts a verified mapping.  Because the engines
+    are complete, [Infeasible] is a {e proof} that no mapping exists —
+    the property that distinguishes this mapper from heuristics. *)
+
+module Dfg := Cgra_dfg.Dfg
+module Mrrg := Cgra_mrrg.Mrrg
+
+type info = {
+  size : Formulation.size;
+  solve_seconds : float;
+  build_seconds : float;
+  objective_value : int option;  (** routing cost when optimising *)
+  proven_optimal : bool;
+}
+
+type result =
+  | Mapped of Mapping.t * info
+  | Infeasible of info
+  | Timeout of info
+
+val map :
+  ?objective:Formulation.objective ->
+  ?engine:Cgra_ilp.Solve.engine ->
+  ?deadline:Cgra_util.Deadline.t ->
+  ?prune:bool ->
+  ?warm_start:float ->
+  Dfg.t ->
+  Mrrg.t ->
+  result
+(** Defaults: [Feasibility] objective (a Table 2 style query),
+    SAT-backed engine, no deadline, corridor pruning on.  Mappings are
+    checked with {!Check} before being returned.
+
+    [warm_start] (default 5 seconds; 0 disables) bounds a quick
+    annealing attempt whose verified solution, when found, seeds the
+    exact engine's variable phases — the standard embedded-heuristic
+    warm start of production MIP solvers.  Completeness is unaffected:
+    the answer is still decided by the exact engine.
+    @raise Failure if the solver returns an assignment the independent
+    checker rejects (this would be a bug, not an input error). *)
+
+val result_feasible : result -> bool
+val pp_result : Format.formatter -> result -> unit

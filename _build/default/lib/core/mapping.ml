@@ -1,0 +1,88 @@
+module Dfg = Cgra_dfg.Dfg
+module Mrrg = Cgra_mrrg.Mrrg
+
+type route = { value_producer : int; sink : Dfg.edge; nodes : int list }
+
+type t = {
+  dfg : Dfg.t;
+  mrrg : Mrrg.t;
+  placement : (int * int) list;
+  routes : route list;
+}
+
+let placement_of t q = List.assoc_opt q t.placement
+
+let used_route_nodes t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun r -> List.iter (fun i -> Hashtbl.replace tbl i r.value_producer) r.nodes)
+    t.routes;
+  tbl
+
+let routing_cost t = Hashtbl.length (used_route_nodes t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>mapping of %s onto %d-context MRRG (%d ops, cost %d)" (Dfg.name t.dfg)
+    (Mrrg.ii t.mrrg) (List.length t.placement) (routing_cost t);
+  List.iter
+    (fun (q, p) ->
+      Format.fprintf fmt "@,  %s -> %s" (Dfg.node t.dfg q).Dfg.name (Mrrg.node t.mrrg p).Mrrg.name)
+    t.placement;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "@,  route %s -> %s.%d (%d nodes)"
+        (Dfg.node t.dfg r.value_producer).Dfg.name
+        (Dfg.node t.dfg r.sink.Dfg.dst).Dfg.name r.sink.Dfg.operand (List.length r.nodes))
+    t.routes;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let palette =
+  [| "lightblue"; "lightgreen"; "lightsalmon"; "khaki"; "plum"; "lightcyan"; "wheat";
+     "mistyrose"; "palegreen"; "lavender" |]
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph mapping {\n  rankdir=LR;\n";
+  let used = used_route_nodes t in
+  let colour_of = Hashtbl.create 16 in
+  let next = ref 0 in
+  let colour producer =
+    match Hashtbl.find_opt colour_of producer with
+    | Some c -> c
+    | None ->
+        let c = palette.(!next mod Array.length palette) in
+        incr next;
+        Hashtbl.replace colour_of producer c;
+        c
+  in
+  let declared = Hashtbl.create 256 in
+  let declare id label shape fill =
+    if not (Hashtbl.mem declared id) then begin
+      Hashtbl.replace declared id ();
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\" shape=%s style=filled fillcolor=\"%s\"];\n" id label
+           shape fill)
+    end
+  in
+  List.iter
+    (fun (q, p) ->
+      let label =
+        Printf.sprintf "%s\\n%s" (Dfg.node t.dfg q).Dfg.name (Mrrg.node t.mrrg p).Mrrg.name
+      in
+      declare p label "box" "gold")
+    t.placement;
+  Hashtbl.iter
+    (fun i producer -> declare i (Mrrg.node t.mrrg i).Mrrg.name "ellipse" (colour producer))
+    used;
+  (* edges among declared nodes only *)
+  Hashtbl.iter
+    (fun i _ ->
+      List.iter
+        (fun s -> if Hashtbl.mem declared s then
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i s))
+        (Mrrg.fanouts t.mrrg i))
+    declared;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** The result of CGRA mapping: a placement plus routing trees.
+
+    A mapping binds every DFG operation to a functional-unit node of
+    the MRRG and gives, for every sub-value (value × sink), the set of
+    routing nodes carrying it.  {!Verify} checks legality independently
+    of how the mapping was produced (ILP or simulated annealing). *)
+
+module Dfg := Cgra_dfg.Dfg
+module Mrrg := Cgra_mrrg.Mrrg
+
+type route = {
+  value_producer : int;  (** DFG node producing the value *)
+  sink : Dfg.edge;       (** the consumer edge this sub-value feeds *)
+  nodes : int list;      (** MRRG routing nodes used *)
+}
+
+type t = {
+  dfg : Dfg.t;
+  mrrg : Mrrg.t;
+  placement : (int * int) list;  (** (DFG op, MRRG functional-unit node) *)
+  routes : route list;
+}
+
+val placement_of : t -> int -> int option
+(** MRRG node hosting a DFG operation. *)
+
+val routing_cost : t -> int
+(** Number of distinct routing nodes in use — the paper's objective
+    (10) evaluated on the mapping. *)
+
+val used_route_nodes : t -> (int, int) Hashtbl.t
+(** route node -> producer of the value occupying it. *)
+
+val pp : Format.formatter -> t -> unit
+(** Placement table and per-value route sizes. *)
+
+val to_string : t -> string
+
+val to_dot : t -> string
+(** GraphViz overlay of the mapping on its MRRG: placed functional
+    units and used routing nodes are coloured per value; unused nodes
+    are dropped for readability. *)

@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.ml: Array Dfg List Op Option Printf

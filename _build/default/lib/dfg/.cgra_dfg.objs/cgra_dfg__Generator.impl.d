@@ -1,0 +1,1 @@
+lib/dfg/generator.ml: Cgra_util Dfg List Op Printf

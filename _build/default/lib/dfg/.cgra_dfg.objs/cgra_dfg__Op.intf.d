@@ -1,0 +1,1 @@
+lib/dfg/op.mli: Format

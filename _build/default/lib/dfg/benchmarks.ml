@@ -1,0 +1,342 @@
+module B = Dfg.Builder
+
+(* Small construction helpers.  [bin] wires both operands of a 2-input
+   operation; [unop] the single operand of a 1-input one. *)
+
+let inp b name = B.add b Op.Input name
+
+let bin b op name x y =
+  let id = B.add b op name in
+  B.connect b ~src:x ~dst:id ~operand:0;
+  B.connect b ~src:y ~dst:id ~operand:1;
+  id
+
+let add2 b name x y = bin b Op.Add name x y
+let mul2 b name x y = bin b Op.Mul name x y
+
+let out b name src =
+  let id = B.add b Op.Output name in
+  B.connect b ~src ~dst:id ~operand:0;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* accum: four multiply lanes feeding an adder tree whose root is also
+   folded into a loop-carried accumulator.  8 ins + 2 outs = 10 I/Os,
+   4 muls + 4 adds = 8 ops. *)
+
+let accum () =
+  let b = B.create ~name:"accum" () in
+  let a = Array.init 4 (fun i -> inp b (Printf.sprintf "a%d" i)) in
+  let c = Array.init 4 (fun i -> inp b (Printf.sprintf "b%d" i)) in
+  let p = Array.init 4 (fun i -> mul2 b (Printf.sprintf "p%d" i) a.(i) c.(i)) in
+  let t1 = add2 b "t1" p.(0) p.(1) in
+  let t2 = add2 b "t2" p.(2) p.(3) in
+  let t3 = add2 b "t3" t1 t2 in
+  let acc = B.add b Op.Add "acc" in
+  B.connect b ~src:t3 ~dst:acc ~operand:0;
+  B.connect b ~src:acc ~dst:acc ~operand:1;  (* loop-carried self edge *)
+  ignore (out b "dot_out" t3);
+  ignore (out b "acc_out" acc);
+  B.freeze b
+
+(* mac: a single-input multiply-accumulate against three constant
+   coefficients.  1 input, no outputs (the accumulator is the only sink
+   of its own value): 1 I/O, 3 consts + 3 muls + 3 adds = 9 ops. *)
+
+let mac () =
+  let b = B.create ~name:"mac" () in
+  let x = inp b "x" in
+  let c1 = B.add b Op.Const "c1" in
+  let c2 = B.add b Op.Const "c2" in
+  let c3 = B.add b Op.Const "c3" in
+  let m1 = mul2 b "m1" x c1 in
+  let m2 = mul2 b "m2" x c2 in
+  let m3 = mul2 b "m3" x c3 in
+  let s1 = add2 b "s1" m1 m2 in
+  let s2 = add2 b "s2" s1 m3 in
+  let acc = B.add b Op.Add "acc" in
+  B.connect b ~src:s2 ~dst:acc ~operand:0;
+  B.connect b ~src:acc ~dst:acc ~operand:1;
+  B.freeze b
+
+(* add_N / mult_N: an operator chain over N/2 (resp. N-1) inputs with
+   output taps on the trailing partial results.  Inputs are reused
+   round-robin, giving them multiple fanouts and hence real routing
+   pressure, which is what makes the larger chains hard to map on the
+   Orthogonal interconnect. *)
+
+let add_chain name n_io =
+  let b = B.create ~name () in
+  let n_inputs = n_io / 2 in
+  let n_outputs = n_io - n_inputs in
+  let x = Array.init n_inputs (fun i -> inp b (Printf.sprintf "x%d" i)) in
+  let sums = Array.make n_io 0 in
+  let prev = ref x.(0) in
+  for j = 0 to n_io - 1 do
+    let operand = x.((j + 1) mod n_inputs) in
+    let s = add2 b (Printf.sprintf "s%d" j) !prev operand in
+    sums.(j) <- s;
+    prev := s
+  done;
+  for k = 0 to n_outputs - 1 do
+    ignore (out b (Printf.sprintf "y%d" k) sums.(n_io - n_outputs + k))
+  done;
+  B.freeze b
+
+let add_10 () = add_chain "add_10" 10
+let add_14 () = add_chain "add_14" 14
+let add_16 () = add_chain "add_16" 16
+
+let mult_chain name n_io =
+  let b = B.create ~name () in
+  let n_inputs = n_io - 1 in
+  let x = Array.init n_inputs (fun i -> inp b (Printf.sprintf "x%d" i)) in
+  let prev = ref x.(0) in
+  for j = 1 to n_inputs - 1 do
+    prev := mul2 b (Printf.sprintf "p%d" j) !prev x.(j)
+  done;
+  (* Square the chain result: the (N-1)-th multiply of Table 1. *)
+  let sq = mul2 b "sq" !prev !prev in
+  ignore (out b "y" sq);
+  B.freeze b
+
+let mult_10 () = mult_chain "mult_10" 10
+let mult_14 () = mult_chain "mult_14" 14
+let mult_16 () = mult_chain "mult_16" 16
+
+(* 2x2-f / 2x2-p: small mixed-operator kernels (one multiply each). *)
+
+let conv_2x2_f () =
+  let b = B.create ~name:"2x2-f" () in
+  let a = inp b "a" and bb = inp b "b" and c = inp b "c" and d = inp b "d" in
+  let m = mul2 b "m" a bb in
+  let s1 = add2 b "s1" m c in
+  let s2 = add2 b "s2" s1 d in
+  let sh = bin b Op.Shl "sh" s2 a in
+  let x = bin b Op.Xor "x" sh s1 in
+  ignore (out b "y" x);
+  B.freeze b
+
+let conv_2x2_p () =
+  let b = B.create ~name:"2x2-p" () in
+  let a = inp b "a" and bb = inp b "b" and c = inp b "c" in
+  let d = inp b "d" and e = inp b "e" in
+  let m = mul2 b "m" a bb in
+  let s1 = add2 b "s1" m c in
+  let s2 = add2 b "s2" s1 d in
+  let s3 = add2 b "s3" s2 e in
+  let sh = bin b Op.Shr "sh" s3 bb in
+  let x = bin b Op.Xor "x" sh m in
+  ignore (out b "y" x);
+  B.freeze b
+
+(* Taylor-series kernels.  Coefficients arrive as inputs (the compiled
+   kernels keep them in registers fed from outside the array), so the
+   internal operations are almost exclusively multiplies, matching the
+   very high multiply counts of Table 1. *)
+
+let cos_like name swap =
+  let b = B.create ~name () in
+  let x = inp b "x" and a = inp b "a" and c2 = inp b "b" and c3 = inp b "c" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" m2 x in
+  let m4 = mul2 b "m4" m3 x in
+  let m5 = mul2 b "m5" m4 x in
+  let m6 = mul2 b "m6" a m1 in
+  let m7 = mul2 b "m7" c2 m3 in
+  let m8 = mul2 b "m8" c3 m5 in
+  let m9 = mul2 b "m9" m6 m6 in
+  let m10 = mul2 b "m10" m7 m7 in
+  let m11 = mul2 b "m11" m8 m8 in
+  let m12 = mul2 b "m12" m9 m10 in
+  (* cosh differs from cos only in coefficient signs; structurally we
+     distinguish the two by the pairing of the final adds. *)
+  let a1 = if swap then add2 b "a1" m11 m12 else add2 b "a1" m12 m11 in
+  let a2 = add2 b "a2" a1 m2 in
+  ignore (out b "y" a2);
+  B.freeze b
+
+let cos_4 () = cos_like "cos_4" false
+let cosh_4 () = cos_like "cosh_4" true
+
+let exp_4 () =
+  let b = B.create ~name:"exp_4" () in
+  let x = inp b "x" and a = inp b "a" and c = inp b "b" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" m1 m2 in
+  let m4 = mul2 b "m4" a m1 in
+  let m5 = mul2 b "m5" c m3 in
+  let s1 = add2 b "s1" x m4 in
+  let s2 = add2 b "s2" s1 m5 in
+  let s3 = add2 b "s3" s2 m1 in
+  let s4 = add2 b "s4" s3 c in
+  ignore (out b "y" s4);
+  B.freeze b
+
+let exp_5 () =
+  let b = B.create ~name:"exp_5" () in
+  let x = inp b "x" and a = inp b "a" and c = inp b "b" and d = inp b "c" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" m2 x in
+  let m4 = mul2 b "m4" m3 x in
+  let m5 = mul2 b "m5" a m1 in
+  let m6 = mul2 b "m6" c m2 in
+  let m7 = mul2 b "m7" d m3 in
+  let m8 = mul2 b "m8" m4 m4 in
+  let m9 = mul2 b "m9" m8 x in
+  let s1 = add2 b "s1" m5 m6 in
+  let s2 = add2 b "s2" s1 m7 in
+  let s3 = add2 b "s3" s2 m9 in
+  ignore (out b "y" s3);
+  B.freeze b
+
+let exp_6 () =
+  let b = B.create ~name:"exp_6" () in
+  let x = inp b "x" and a = inp b "a" and c = inp b "b" in
+  let d = inp b "c" and e = inp b "d" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" m2 x in
+  let m4 = mul2 b "m4" m3 x in
+  let m5 = mul2 b "m5" m4 x in
+  let m6 = mul2 b "m6" a m1 in
+  let m7 = mul2 b "m7" c m2 in
+  let m8 = mul2 b "m8" d m3 in
+  let m9 = mul2 b "m9" e m4 in
+  let m10 = mul2 b "m10" m6 m7 in
+  let m11 = mul2 b "m11" m8 m9 in
+  let m12 = mul2 b "m12" m10 m11 in
+  let m13 = mul2 b "m13" m12 m5 in
+  let m14 = mul2 b "m14" m13 m13 in
+  let s = add2 b "s" m14 x in
+  ignore (out b "y" s);
+  B.freeze b
+
+let sinh_4 () =
+  let b = B.create ~name:"sinh_4" () in
+  let x = inp b "x" and a = inp b "a" and c = inp b "b" and d = inp b "c" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" m2 m1 in
+  let m4 = mul2 b "m4" m3 m1 in
+  let m5 = mul2 b "m5" a m2 in
+  let m6 = mul2 b "m6" c m3 in
+  let m7 = mul2 b "m7" d m4 in
+  let m8 = mul2 b "m8" m5 m5 in
+  let m9 = mul2 b "m9" m6 x in
+  let s1 = add2 b "s1" x m8 in
+  let s2 = add2 b "s2" s1 m9 in
+  let s3 = add2 b "s3" s2 m7 in
+  let s4 = add2 b "s4" s3 m4 in
+  ignore (out b "y" s4);
+  B.freeze b
+
+let tay_4 () =
+  let b = B.create ~name:"tay_4" () in
+  let x = inp b "x" and a = inp b "a" and c = inp b "b" and d = inp b "c" in
+  let m1 = mul2 b "m1" x x in
+  let m2 = mul2 b "m2" m1 x in
+  let m3 = mul2 b "m3" a x in
+  let m4 = mul2 b "m4" c m1 in
+  let m5 = mul2 b "m5" d m2 in
+  let m6 = mul2 b "m6" m1 m2 in
+  let s1 = add2 b "s1" m3 m4 in
+  let s2 = add2 b "s2" s1 m5 in
+  let s3 = add2 b "s3" s2 m6 in
+  let s4 = add2 b "s4" s3 x in
+  ignore (out b "y" s4);
+  B.freeze b
+
+(* extreme: a hand-crafted routing-stress web — 8 inputs and 8 outputs
+   with multi-fanout at every layer. *)
+
+let extreme () =
+  let b = B.create ~name:"extreme" () in
+  let x = Array.init 8 (fun i -> inp b (Printf.sprintf "x%d" i)) in
+  let m = Array.init 4 (fun i -> mul2 b (Printf.sprintf "m%d" i) x.(2 * i) x.((2 * i) + 1)) in
+  let a = Array.init 4 (fun i -> add2 b (Printf.sprintf "a%d" i) m.(i) m.((i + 1) mod 4)) in
+  let bx = Array.init 4 (fun i -> bin b Op.Xor (Printf.sprintf "b%d" i) a.(i) x.(i)) in
+  let c = Array.init 4 (fun i -> add2 b (Printf.sprintf "c%d" i) bx.(i) a.((i + 2) mod 4)) in
+  let d0 = add2 b "d0" c.(0) c.(1) in
+  let d1 = add2 b "d1" c.(2) c.(3) in
+  let d2 = add2 b "d2" d0 d1 in
+  Array.iteri (fun i v -> ignore (out b (Printf.sprintf "ob%d" i) v)) bx;
+  ignore (out b "od0" d0);
+  ignore (out b "od1" d1);
+  ignore (out b "od2" d2);
+  ignore (out b "oa0" a.(0));
+  B.freeze b
+
+(* weighted_sum: dot product of 8 data inputs against 7 weight inputs
+   (the 8th product reuses x0), reduced by an adder tree. *)
+
+let weighted_sum () =
+  let b = B.create ~name:"weighted_sum" () in
+  let x = Array.init 8 (fun i -> inp b (Printf.sprintf "x%d" i)) in
+  let w = Array.init 7 (fun i -> inp b (Printf.sprintf "w%d" i)) in
+  let m = Array.init 8 (fun i ->
+      if i < 7 then mul2 b (Printf.sprintf "m%d" i) x.(i) w.(i)
+      else mul2 b "m7" x.(7) x.(0))
+  in
+  let t = Array.init 4 (fun i -> add2 b (Printf.sprintf "t%d" i) m.(2 * i) m.((2 * i) + 1)) in
+  let u0 = add2 b "u0" t.(0) t.(1) in
+  let u1 = add2 b "u1" t.(2) t.(3) in
+  let v = add2 b "v" u0 u1 in
+  let r = add2 b "r" v x.(0) in
+  ignore (out b "y" r);
+  B.freeze b
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("accum", accum);
+    ("mac", mac);
+    ("add_10", add_10);
+    ("add_14", add_14);
+    ("add_16", add_16);
+    ("mult_10", mult_10);
+    ("mult_14", mult_14);
+    ("mult_16", mult_16);
+    ("2x2-f", conv_2x2_f);
+    ("2x2-p", conv_2x2_p);
+    ("cos_4", cos_4);
+    ("cosh_4", cosh_4);
+    ("exp_4", exp_4);
+    ("exp_5", exp_5);
+    ("exp_6", exp_6);
+    ("sinh_4", sinh_4);
+    ("tay_4", tay_4);
+    ("extreme", extreme);
+    ("weighted_sum", weighted_sum);
+  ]
+
+let by_name name =
+  List.assoc_opt name all |> Option.map (fun mk -> mk ())
+
+let expected_stats =
+  let s ios operations multiplies = { Dfg.ios; operations; multiplies } in
+  [
+    ("accum", s 10 8 4);
+    ("mac", s 1 9 3);
+    ("add_10", s 10 10 0);
+    ("add_14", s 14 14 0);
+    ("add_16", s 16 16 0);
+    ("mult_10", s 10 9 9);
+    ("mult_14", s 14 13 13);
+    ("mult_16", s 16 15 15);
+    ("2x2-f", s 5 5 1);
+    ("2x2-p", s 6 6 1);
+    ("cos_4", s 5 14 12);
+    ("cosh_4", s 5 14 12);
+    ("exp_4", s 4 9 5);
+    ("exp_5", s 5 12 9);
+    ("exp_6", s 6 15 14);
+    ("sinh_4", s 5 13 9);
+    ("tay_4", s 5 10 6);
+    ("extreme", s 16 19 4);
+    ("weighted_sum", s 16 16 8);
+  ]

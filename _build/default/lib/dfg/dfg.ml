@@ -1,0 +1,229 @@
+type node = { id : int; op : Op.t; name : string }
+type edge = { src : int; dst : int; operand : int }
+
+type t = {
+  name : string;
+  nodes : node array;
+  edges : edge list;
+  ins : edge list array;   (* per node, sorted by operand *)
+  outs : edge list array;  (* per node, in insertion order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_node_edges nodes ins outs =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  Array.iter
+    (fun n ->
+      let arity = Op.arity n.op in
+      let fed = List.map (fun e -> e.operand) ins.(n.id) in
+      let expect = List.init arity (fun i -> i) in
+      if List.sort_uniq compare fed <> expect then
+        err "node %s (%a): operands fed %s, expected 0..%d each once" n.name Op.pp n.op
+          (String.concat "," (List.map string_of_int fed))
+          (arity - 1);
+      if (not (Op.produces_value n.op)) && outs.(n.id) <> [] then
+        err "node %s (%a) produces no value but has %d consumers" n.name Op.pp n.op
+          (List.length outs.(n.id)))
+    nodes;
+  !errs
+
+let validate t =
+  match check_node_edges t.nodes t.ins t.outs with [] -> Ok () | errs -> Error (List.rev errs)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type t = {
+    bname : string;
+    mutable rev_nodes : node list;
+    mutable count : int;
+    mutable rev_edges : edge list;
+    names : (string, int) Hashtbl.t;
+  }
+
+  let create ?(name = "dfg") () =
+    { bname = name; rev_nodes = []; count = 0; rev_edges = []; names = Hashtbl.create 16 }
+
+  let add b op name =
+    if String.length name = 0 then invalid_arg "Dfg.Builder.add: empty name";
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Dfg.Builder.add: duplicate node name %S" name);
+    let id = b.count in
+    b.count <- id + 1;
+    b.rev_nodes <- { id; op; name } :: b.rev_nodes;
+    Hashtbl.add b.names name id;
+    id
+
+  let node_op b id =
+    match List.find_opt (fun n -> n.id = id) b.rev_nodes with
+    | Some n -> n.op
+    | None -> invalid_arg (Printf.sprintf "Dfg.Builder: node id %d out of range" id)
+
+  let connect b ~src ~dst ~operand =
+    let src_op = node_op b src and dst_op = node_op b dst in
+    if not (Op.produces_value src_op) then
+      invalid_arg
+        (Printf.sprintf "Dfg.Builder.connect: %s produces no value" (Op.to_string src_op));
+    if operand < 0 || operand >= Op.arity dst_op then
+      invalid_arg
+        (Printf.sprintf "Dfg.Builder.connect: operand %d out of range for %s" operand
+           (Op.to_string dst_op));
+    if List.exists (fun e -> e.dst = dst && e.operand = operand) b.rev_edges then
+      invalid_arg
+        (Printf.sprintf "Dfg.Builder.connect: operand %d of node %d already fed" operand dst);
+    b.rev_edges <- { src; dst; operand } :: b.rev_edges
+
+  let freeze b =
+    let nodes = Array.of_list (List.rev b.rev_nodes) in
+    let edges = List.rev b.rev_edges in
+    let n = Array.length nodes in
+    let ins = Array.make n [] and outs = Array.make n [] in
+    List.iter
+      (fun e ->
+        ins.(e.dst) <- e :: ins.(e.dst);
+        outs.(e.src) <- e :: outs.(e.src))
+      (List.rev edges);
+    Array.iteri
+      (fun i l -> ins.(i) <- List.sort (fun a b -> compare a.operand b.operand) l)
+      ins;
+    match check_node_edges nodes ins outs with
+    | [] -> { name = b.bname; nodes; edges; ins; outs }
+    | errs ->
+        invalid_arg
+          (Printf.sprintf "Dfg.Builder.freeze (%s): %s" b.bname (String.concat "; " errs))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let name t = t.name
+let node_count t = Array.length t.nodes
+let edge_count t = List.length t.edges
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Dfg.node: id %d out of range" i);
+  t.nodes.(i)
+
+let nodes t = Array.to_list t.nodes
+let edges t = t.edges
+let find t nm = Array.find_opt (fun (n : node) -> String.equal n.name nm) t.nodes
+let in_edges t i = t.ins.(i)
+let out_edges t i = t.outs.(i)
+
+type value = { producer : int; sinks : edge list }
+
+let values t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n ->
+         if Op.produces_value n.op && t.outs.(n.id) <> [] then
+           Some { producer = n.id; sinks = t.outs.(n.id) }
+         else None)
+
+type stats = { ios : int; operations : int; multiplies : int }
+
+let stats t =
+  Array.fold_left
+    (fun acc n ->
+      if Op.is_io n.op then { acc with ios = acc.ios + 1 }
+      else
+        {
+          acc with
+          operations = acc.operations + 1;
+          multiplies = (acc.multiplies + if Op.is_mul n.op then 1 else 0);
+        })
+    { ios = 0; operations = 0; multiplies = 0 }
+    t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Export / import                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" t.name);
+  Array.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s\" shape=box];\n" n.id n.name
+           (Op.to_string n.op)))
+    t.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" e.src e.dst e.operand))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# dfg %s\n" t.name);
+  Array.iter
+    (fun (n : node) ->
+      Buffer.add_string buf (Printf.sprintf "node %s %s\n" n.name (Op.to_string n.op)))
+    t.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s %d\n" t.nodes.(e.src).name t.nodes.(e.dst).name e.operand))
+    t.edges;
+  Buffer.contents buf
+
+let of_text text =
+  let b = Builder.create () in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> (
+        match
+          (* freeze validates; surface its message as a result *)
+          try Ok (Builder.freeze b) with Invalid_argument m -> Error m
+        with
+        | Ok dfg -> Ok dfg
+        | Error m -> Error m)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) rest
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "node"; nm; op_s ] -> (
+              match Op.of_string op_s with
+              | None -> error lineno (Printf.sprintf "unknown op %S" op_s)
+              | Some op -> (
+                  match Builder.add b op nm with
+                  | _ -> go (lineno + 1) rest
+                  | exception Invalid_argument m -> error lineno m))
+          | [ "edge"; s; d; k ] -> (
+              match (Hashtbl.find_opt b.Builder.names s, Hashtbl.find_opt b.Builder.names d,
+                     int_of_string_opt k)
+              with
+              | Some src, Some dst, Some operand -> (
+                  match Builder.connect b ~src ~dst ~operand with
+                  | () -> go (lineno + 1) rest
+                  | exception Invalid_argument m -> error lineno m)
+              | None, _, _ -> error lineno (Printf.sprintf "unknown source node %S" s)
+              | _, None, _ -> error lineno (Printf.sprintf "unknown sink node %S" d)
+              | _, _, None -> error lineno (Printf.sprintf "bad operand index %S" k))
+          | _ -> error lineno (Printf.sprintf "unparseable line %S" line))
+  in
+  go 1 lines
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>dfg %s (%d nodes, %d edges)" t.name (node_count t) (edge_count t);
+  Array.iter
+    (fun n ->
+      let ins =
+        t.ins.(n.id)
+        |> List.map (fun e -> t.nodes.(e.src).name)
+        |> String.concat ", "
+      in
+      Format.fprintf fmt "@,  %s := %a(%s)" n.name Op.pp n.op ins)
+    t.nodes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,104 @@
+(** Data-flow graphs: the application input to the mapper.
+
+    A DFG is a directed graph whose vertices are operations ({!Op.t})
+    and whose edges are data dependences, labelled with the operand
+    position they feed at the consumer (paper §3.1).  Loop-carried
+    dependences appear as ordinary back-edges (including self-loops,
+    e.g. an accumulator add feeding itself); the modulo structure of
+    the MRRG gives them meaning during mapping.
+
+    The graph is immutable once built; construct it through
+    {!module:Builder}. *)
+
+type node = private { id : int; op : Op.t; name : string }
+(** A DFG operation.  [id]s are dense, starting at 0; [name]s are
+    unique non-empty strings. *)
+
+type edge = { src : int; dst : int; operand : int }
+(** A data dependence: the value produced by node [src] feeds operand
+    slot [operand] of node [dst]. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type dfg := t
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val add : t -> Op.t -> string -> int
+  (** [add b op name] adds an operation and returns its node id.
+      @raise Invalid_argument on duplicate or empty [name]. *)
+
+  val connect : t -> src:int -> dst:int -> operand:int -> unit
+  (** Add a dependence edge.
+      @raise Invalid_argument on out-of-range ids, operand slots outside
+      the consumer's arity, already-occupied operand slots, or producers
+      that yield no value ([Output]/[Store]). *)
+
+  val freeze : t -> dfg
+  (** Validate (see {!validate}) and seal the graph.
+      @raise Invalid_argument if validation fails. *)
+end
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val node_count : t -> int
+val edge_count : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+val edges : t -> edge list
+val find : t -> string -> node option
+(** Look a node up by name. *)
+
+val in_edges : t -> int -> edge list
+(** Dependences feeding a node, sorted by operand position. *)
+
+val out_edges : t -> int -> edge list
+(** Dependences consuming a node's value. *)
+
+(** {1 Values and sub-values}
+
+    A {e value} is the output of a value-producing operation; a
+    {e sub-value} is one source→sink connection of a (possibly
+    multi-fanout) value — the unit the paper routes (§4.1). *)
+
+type value = { producer : int; sinks : edge list }
+
+val values : t -> value list
+(** One entry per node with [Op.produces_value] true {e and} at least
+    one consumer, in producer-id order.  [sinks] preserves insertion
+    order; its positions are the sub-value indices [k]. *)
+
+(** {1 Statistics (Table 1 columns)} *)
+
+type stats = { ios : int; operations : int; multiplies : int }
+
+val stats : t -> stats
+(** [ios] counts [Input] and [Output] pads; [operations] counts the
+    remaining (internal) operations, load/store included; [multiplies]
+    counts [Mul] nodes — the exact accounting of the paper's Table 1. *)
+
+(** {1 Validation and export} *)
+
+val validate : t -> (unit, string list) result
+(** Structural well-formedness: every operand slot of every node is fed
+    exactly once, pads have no illegal edges, names are unique.  Frozen
+    graphs always validate; exposed for testing and for graphs read
+    from text. *)
+
+val to_dot : t -> string
+(** GraphViz rendering (ops as boxes, operand positions as edge labels). *)
+
+val to_text : t -> string
+(** Serialise in the line-oriented [.dfg] format. *)
+
+val of_text : string -> (t, string) result
+(** Parse the [.dfg] format: [node <name> <op>] and
+    [edge <src> <dst> <operand>] lines, [#] comments. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line-per-node summary. *)

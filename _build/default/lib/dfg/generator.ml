@@ -1,0 +1,67 @@
+module Rng = Cgra_util.Rng
+
+type config = {
+  n_inputs : int;
+  n_outputs : int;
+  n_internal : int;
+  mul_fraction : float;
+  mem_fraction : float;
+  allow_self_loop : bool;
+}
+
+let default =
+  {
+    n_inputs = 3;
+    n_outputs = 1;
+    n_internal = 6;
+    mul_fraction = 0.3;
+    mem_fraction = 0.0;
+    allow_self_loop = false;
+  }
+
+let binary_ops = [| Op.Add; Op.Sub; Op.Shl; Op.Shr; Op.And; Op.Or; Op.Xor |]
+
+let generate rng cfg =
+  let b = Dfg.Builder.create ~name:"random" () in
+  let producers = ref [] in
+  for i = 0 to cfg.n_inputs - 1 do
+    producers := Dfg.Builder.add b Op.Input (Printf.sprintf "in%d" i) :: !producers
+  done;
+  let pick () = Rng.choose_list rng !producers in
+  for i = 0 to cfg.n_internal - 1 do
+    let name = Printf.sprintf "op%d" i in
+    let r = Rng.float rng 1.0 in
+    let id =
+      if r < cfg.mem_fraction then begin
+        let id = Dfg.Builder.add b Op.Load name in
+        Dfg.Builder.connect b ~src:(pick ()) ~dst:id ~operand:0;
+        id
+      end
+      else begin
+        let op =
+          if Rng.float rng 1.0 < cfg.mul_fraction then Op.Mul else Rng.choose rng binary_ops
+        in
+        let id = Dfg.Builder.add b op name in
+        let src0 = pick () in
+        let src1 =
+          if cfg.allow_self_loop && Rng.int rng 8 = 0 then id else pick ()
+        in
+        Dfg.Builder.connect b ~src:src0 ~dst:id ~operand:0;
+        Dfg.Builder.connect b ~src:src1 ~dst:id ~operand:1;
+        id
+      end
+    in
+    producers := id :: !producers
+  done;
+  (* Tap the most recent value producers as outputs so every output is
+     fed and the tail of the graph is observable. *)
+  let sinkless = !producers in
+  let n_out = min cfg.n_outputs (List.length sinkless) in
+  List.iteri
+    (fun i src ->
+      if i < n_out then begin
+        let o = Dfg.Builder.add b Op.Output (Printf.sprintf "out%d" i) in
+        Dfg.Builder.connect b ~src ~dst:o ~operand:0
+      end)
+    sinkless;
+  Dfg.Builder.freeze b

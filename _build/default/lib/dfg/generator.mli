@@ -1,0 +1,19 @@
+(** Random DFG generation for property-based testing and sweeps. *)
+
+type config = {
+  n_inputs : int;       (** number of [Input] pads *)
+  n_outputs : int;      (** number of [Output] pads (capped by available values) *)
+  n_internal : int;     (** number of internal operations *)
+  mul_fraction : float; (** probability an internal binary op is a multiply *)
+  mem_fraction : float; (** probability an internal op is a load *)
+  allow_self_loop : bool; (** permit loop-carried accumulator self-edges *)
+}
+
+val default : config
+(** A small kernel: 3 inputs, 1 output, 6 internal ops, 30% multiplies. *)
+
+val generate : Cgra_util.Rng.t -> config -> Dfg.t
+(** Build a random well-formed DFG: internal operations draw their
+    operands uniformly from previously created value producers (so the
+    graph is connected forward), outputs tap the final values.  The
+    result always passes {!Dfg.validate}. *)

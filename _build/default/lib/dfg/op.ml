@@ -1,0 +1,61 @@
+type t =
+  | Input
+  | Output
+  | Const
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr
+  | And
+  | Or
+  | Xor
+  | Load
+  | Store
+
+let all = [ Input; Output; Const; Add; Sub; Mul; Shl; Shr; And; Or; Xor; Load; Store ]
+
+let arity = function
+  | Input | Const -> 0
+  | Output | Load -> 1
+  | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Store -> 2
+
+let produces_value = function
+  | Output | Store -> false
+  | Input | Const | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Load -> true
+
+let commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Input | Output | Const | Sub | Shl | Shr | Load | Store -> false
+
+let is_io = function
+  | Input | Output -> true
+  | Const | Add | Sub | Mul | Shl | Shr | And | Or | Xor | Load | Store -> false
+
+let is_mul = function
+  | Mul -> true
+  | Input | Output | Const | Add | Sub | Shl | Shr | And | Or | Xor | Load | Store -> false
+
+let is_mem = function
+  | Load | Store -> true
+  | Input | Output | Const | Add | Sub | Mul | Shl | Shr | And | Or | Xor -> false
+
+let to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Const -> "const"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Load -> "load"
+  | Store -> "store"
+
+let of_string s = List.find_opt (fun op -> String.equal (to_string op) s) all
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

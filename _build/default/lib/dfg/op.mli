@@ -1,0 +1,52 @@
+(** The operation alphabet of data-flow graphs.
+
+    This mirrors the RISC-like operation set of the paper's test
+    architectures (add, mul, shl, ... plus memory access and I/O).  The
+    same type doubles as the label for what a functional unit {e can}
+    execute, so placement legality (paper constraint (3)) is a simple
+    set-membership test. *)
+
+type t =
+  | Input   (** external input pad; produces one value, arity 0 *)
+  | Output  (** external output pad; consumes one value *)
+  | Const   (** immediate constant produced inside a block *)
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shr
+  | And
+  | Or
+  | Xor
+  | Load    (** memory read through a row memory port; operand 0 = address *)
+  | Store   (** memory write; operand 0 = address, operand 1 = data *)
+
+val all : t list
+(** Every operation, in declaration order. *)
+
+val arity : t -> int
+(** Number of input operands (0, 1 or 2). *)
+
+val produces_value : t -> bool
+(** Does the operation define a value consumable by others?
+    [Output] and [Store] are pure sinks. *)
+
+val commutative : t -> bool
+(** May the two operands be swapped without changing semantics? *)
+
+val is_io : t -> bool
+(** Is this an [Input] or [Output] pad operation? *)
+
+val is_mul : t -> bool
+(** Counted in the "# Multiplies" column of Table 1. *)
+
+val is_mem : t -> bool
+(** [Load] or [Store] — must be placed on a memory-port functional unit. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on unknown names. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

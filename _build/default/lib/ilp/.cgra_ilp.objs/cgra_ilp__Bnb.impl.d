@@ -1,0 +1,1 @@
+lib/ilp/bnb.ml: Array Cgra_util List Model

@@ -1,0 +1,1 @@
+lib/ilp/encode.ml: Array Cgra_satoca List Model

@@ -1,0 +1,1 @@
+lib/ilp/encode.mli: Cgra_satoca Model

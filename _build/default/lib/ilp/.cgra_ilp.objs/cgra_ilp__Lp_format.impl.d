@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Buffer Hashtbl List Model Printf String

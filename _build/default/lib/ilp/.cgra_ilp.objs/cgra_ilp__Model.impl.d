@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/ilp/solve.ml: Array Bnb Cgra_satoca Cgra_util Encode Format List Model Presolve

@@ -1,0 +1,1 @@
+lib/ilp/solve.mli: Cgra_util Format Model

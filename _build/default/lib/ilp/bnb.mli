@@ -1,0 +1,13 @@
+(** Depth-first branch-and-bound over 0-1 models.
+
+    An alternative complete engine, independent of the SAT path, used
+    to cross-check results and to solve small optimisation models
+    directly.  Propagates row bounds after every decision and prunes on
+    the objective's optimistic completion. *)
+
+type outcome =
+  | Optimal of bool array * int   (** proven optimal assignment, objective value *)
+  | Infeasible
+  | Timeout of (bool array * int) option  (** deadline hit; best incumbent if any *)
+
+val solve : ?deadline:Cgra_util.Deadline.t -> Model.t -> outcome

@@ -1,0 +1,83 @@
+module Solver = Cgra_satoca.Solver
+module Lit = Cgra_satoca.Lit
+module Card = Cgra_satoca.Card
+
+type t = {
+  solver : Solver.t;
+  objective_lits : (int * Lit.t) list;
+  objective_offset : int;
+}
+
+(* Normalise [terms <= rhs] into positive-weight literals: a term [c*x]
+   with [c < 0] becomes [|c| * ~x] and lifts the bound by [|c|]. *)
+let normalise_le terms rhs =
+  let lits, bound =
+    List.fold_left
+      (fun (lits, bound) (c, v) ->
+        if c > 0 then ((c, Lit.pos v) :: lits, bound)
+        else if c < 0 then ((-c, Lit.neg v) :: lits, bound - c)
+        else (lits, bound))
+      ([], rhs) terms
+  in
+  (List.rev lits, bound)
+
+(* Duplicate weighted literals into a unit-weight multiset.  Weights in
+   mapping models are tiny (|c| <= a handful), so this is cheap. *)
+let expand lits = List.concat_map (fun (w, l) -> List.init w (fun _ -> l)) lits
+
+let encode_le solver terms rhs =
+  let lits, bound = normalise_le terms rhs in
+  let units = expand lits in
+  let n = List.length units in
+  if bound < 0 then Solver.add_clause solver [] (* infeasible row *)
+  else if bound >= n then () (* trivially true *)
+  else if bound = 0 then List.iter (fun l -> Solver.add_clause solver [ Lit.negate l ]) units
+  else if bound = n - 1 then
+    (* "not all true": a single clause over the complements *)
+    Solver.add_clause solver (List.map Lit.negate units)
+  else if bound = 1 then Card.at_most_one solver units
+  else Card.at_most_k solver units bound
+
+let is_unit_sum terms = List.for_all (fun (c, _) -> c = 1) terms
+
+let encode_row solver (row : Model.row) =
+  match row.sense with
+  | Model.Le -> encode_le solver row.terms row.rhs
+  | Model.Ge -> encode_le solver (List.map (fun (c, v) -> (-c, v)) row.terms) (-row.rhs)
+  | Model.Eq ->
+      if row.rhs = 1 && is_unit_sum row.terms && List.length row.terms >= 1 then
+        Card.exactly_one solver (List.map (fun (_, v) -> Lit.pos v) row.terms)
+      else begin
+        encode_le solver row.terms row.rhs;
+        encode_le solver (List.map (fun (c, v) -> (-c, v)) row.terms) (-row.rhs)
+      end
+
+let encode model =
+  let solver = Solver.create () in
+  ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
+  for v = 0 to Model.nvars model - 1 do
+    let p = Model.branch_priority model v in
+    if p <> 0.0 then Solver.set_activity solver v p
+  done;
+  List.iter (encode_row solver) (Model.rows model);
+  (* Seed polarities from the model's phase hints by trial propagation,
+     so auxiliary encoding variables also receive phases consistent
+     with the hinted assignment (critical for warm starts). *)
+  if Model.nvars model > 0 then
+    Solver.seed_phases solver
+      (List.init (Model.nvars model) (fun v -> Lit.make v (Model.branch_phase model v)));
+  let objective_lits, objective_offset =
+    match Model.objective model with
+    | Model.Feasibility -> ([], 0)
+    | Model.Minimize terms ->
+        List.fold_left
+          (fun (lits, off) (c, v) ->
+            if c > 0 then ((c, Lit.pos v) :: lits, off)
+            else if c < 0 then ((-c, Lit.neg v) :: lits, off + c)
+            else (lits, off))
+          ([], 0) terms
+  in
+  { solver; objective_lits; objective_offset }
+
+let assignment t model =
+  Array.init (Model.nvars model) (fun v -> Solver.value t.solver v)

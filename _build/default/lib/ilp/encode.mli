@@ -1,0 +1,22 @@
+(** Clausification of 0-1 models into the SAT solver.
+
+    Every row is normalised to [sum of weighted literals <= k] form and
+    encoded with the cheapest adequate device: plain clauses for
+    implication-like rows, at-most-one ladders for exclusivity rows,
+    and sequential counters in the general case.  ILP variable [v] maps
+    to SAT variable [v] (auxiliary encoding variables come after). *)
+
+type t = {
+  solver : Cgra_satoca.Solver.t;
+  objective_lits : (int * Cgra_satoca.Lit.t) list;
+      (** positive-weight literals whose weighted sum, plus
+          [objective_offset], equals the model objective *)
+  objective_offset : int;
+}
+
+val encode : Model.t -> t
+(** Build a solver containing the full model.  If a row is trivially
+    unsatisfiable the solver is already in the [not ok] state. *)
+
+val assignment : t -> Model.t -> bool array
+(** Read back the model-variable assignment after a [Sat] answer. *)

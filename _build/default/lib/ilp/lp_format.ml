@@ -1,0 +1,138 @@
+let append_terms buf model terms =
+  if terms = [] then Buffer.add_string buf " 0"
+  else
+    List.iteri
+      (fun i (c, v) ->
+        let name = Model.var_name model v in
+        if c >= 0 then
+          Buffer.add_string buf (Printf.sprintf "%s%d %s" (if i = 0 then " " else " + ") c name)
+        else Buffer.add_string buf (Printf.sprintf " - %d %s" (-c) name))
+      terms
+
+let to_string model =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "\\ Problem: %s\n" (Model.name model));
+  Buffer.add_string buf "Minimize\n obj:";
+  (match Model.objective model with
+  | Model.Feasibility -> Buffer.add_string buf " 0"
+  | Model.Minimize terms -> append_terms buf model terms);
+  Buffer.add_string buf "\nSubject To\n";
+  List.iter
+    (fun (r : Model.row) ->
+      Buffer.add_string buf (Printf.sprintf " %s:" r.name);
+      append_terms buf model r.terms;
+      let op = match r.sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=" in
+      Buffer.add_string buf (Printf.sprintf " %s %d\n" op r.rhs))
+    (Model.rows model);
+  Buffer.add_string buf "Binary\n";
+  for v = 0 to Model.nvars model - 1 do
+    Buffer.add_string buf (Printf.sprintf " %s\n" (Model.var_name model v))
+  done;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader for the emitted subset                                       *)
+(* ------------------------------------------------------------------ *)
+
+type section = In_objective | In_constraints | In_binary | Done
+
+let tokenize line =
+  (* split on spaces but keep +, -, <=, >=, = as separate tokens *)
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let of_string text =
+  let model = Model.create ~name:"parsed" () in
+  let vars = Hashtbl.create 64 in
+  let pending_rows = ref [] in
+  let pending_obj = ref None in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let section = ref In_objective in
+  let var name =
+    match Hashtbl.find_opt vars name with
+    | Some v -> v
+    | None ->
+        let v = Model.add_binary model name in
+        Hashtbl.replace vars name v;
+        v
+  in
+  (* parse "<terms> [<op> <rhs>]" token streams *)
+  let is_relation tok = tok = "<=" || tok = ">=" || tok = "=" in
+  let parse_terms tokens =
+    let rec go sign acc = function
+      | [] -> Ok (List.rev acc, None)
+      | "+" :: rest -> go 1 acc rest
+      | "-" :: rest -> go (-1) acc rest
+      | rel :: [ rhs ] when is_relation rel -> (
+          match int_of_string_opt rhs with
+          | Some r -> Ok (List.rev acc, Some r)
+          | None -> Error (Printf.sprintf "bad rhs %S" rhs))
+      | tok :: rest -> (
+          match int_of_string_opt tok with
+          | Some c -> (
+              match rest with
+              | name :: rest' when (not (is_relation name)) && int_of_string_opt name = None ->
+                  go 1 ((sign * c, var name) :: acc) rest'
+              | _ -> if c = 0 then go 1 acc rest else Error "dangling coefficient")
+          | None -> go 1 ((sign, var tok) :: acc) rest)
+    in
+    go 1 [] tokens
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun raw ->
+      if !error = None && !section <> Done then begin
+        let line = String.trim raw in
+        if line = "" || line.[0] = '\\' then ()
+        else
+          match String.lowercase_ascii line with
+          | "minimize" -> section := In_objective
+          | "subject to" -> section := In_constraints
+          | "binary" | "binaries" -> section := In_binary
+          | "end" -> section := Done
+          | _ -> (
+              match !section with
+              | Done -> ()
+              | In_binary -> ignore (var line)
+              | In_objective | In_constraints -> (
+                  match String.index_opt line ':' with
+                  | None -> fail (Printf.sprintf "missing label in %S" line)
+                  | Some i -> (
+                      let label = String.trim (String.sub line 0 i) in
+                      let body =
+                        String.sub line (i + 1) (String.length line - i - 1)
+                      in
+                      match parse_terms (tokenize body) with
+                      | Error e -> fail e
+                      | Ok (terms, tail) ->
+                          if !section = In_objective then begin
+                            if tail <> None then fail "objective has a relation";
+                            pending_obj := Some terms
+                          end
+                          else begin
+                            (* need the operator: re-scan tokens for it *)
+                            let toks = tokenize body in
+                            let sense =
+                              if List.mem "<=" toks then Some Model.Le
+                              else if List.mem ">=" toks then Some Model.Ge
+                              else if List.mem "=" toks then Some Model.Eq
+                              else None
+                            in
+                            match (sense, tail) with
+                            | Some s, Some rhs ->
+                                pending_rows := (label, terms, s, rhs) :: !pending_rows
+                            | _ -> fail (Printf.sprintf "row %s lacks relation" label)
+                          end)))
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      List.iter
+        (fun (label, terms, sense, rhs) -> Model.add_row model ~name:label terms sense rhs)
+        (List.rev !pending_rows);
+      (match !pending_obj with
+      | Some [] | None -> Model.set_objective model Model.Feasibility
+      | Some terms -> Model.set_objective model (Model.Minimize terms));
+      Ok model

@@ -1,0 +1,15 @@
+(** CPLEX LP-format export (and a matching reader).
+
+    The paper's flow hands the formulation to Gurobi; in this
+    reproduction the native engines solve it, but every model can also
+    be written as an industry-standard [.lp] file so an external solver
+    (Gurobi, CPLEX, SCIP, HiGHS, ...) can be used where available, and
+    so formulations can be inspected by eye. *)
+
+val to_string : Model.t -> string
+(** Render: objective ([Minimize] or a constant feasibility objective),
+    [Subject To] rows, and a [Binary] section listing every variable. *)
+
+val of_string : string -> (Model.t, string) result
+(** Read back a file in the subset emitted by {!to_string} (used for
+    round-trip testing).  Not a general LP parser. *)

@@ -1,0 +1,125 @@
+type var = int
+type sense = Le | Ge | Eq
+type term = int * var
+type row = { name : string; terms : term list; sense : sense; rhs : int }
+
+type objective = Feasibility | Minimize of term list
+
+type t = {
+  mname : string;
+  mutable names : string array;
+  mutable count : int;
+  by_name : (string, var) Hashtbl.t;
+  mutable rev_rows : row list;
+  mutable nrows : int;
+  mutable obj : objective;
+  priorities : (var, float) Hashtbl.t;
+  phases : (var, bool) Hashtbl.t;
+}
+
+let create ?(name = "model") () =
+  {
+    mname = name;
+    names = Array.make 16 "";
+    count = 0;
+    by_name = Hashtbl.create 64;
+    rev_rows = [];
+    nrows = 0;
+    obj = Feasibility;
+    priorities = Hashtbl.create 64;
+    phases = Hashtbl.create 64;
+  }
+
+let set_branch_priority t v p =
+  if v < 0 || v >= t.count then invalid_arg "Model.set_branch_priority: out of range";
+  Hashtbl.replace t.priorities v p
+
+let branch_priority t v = Option.value ~default:0.0 (Hashtbl.find_opt t.priorities v)
+
+let set_branch_phase t v b =
+  if v < 0 || v >= t.count then invalid_arg "Model.set_branch_phase: out of range";
+  Hashtbl.replace t.phases v b
+
+let branch_phase t v = Option.value ~default:false (Hashtbl.find_opt t.phases v)
+
+let name t = t.mname
+
+let add_binary t vname =
+  if String.length vname = 0 then invalid_arg "Model.add_binary: empty name";
+  if Hashtbl.mem t.by_name vname then
+    invalid_arg (Printf.sprintf "Model.add_binary: duplicate variable %S" vname);
+  if t.count = Array.length t.names then begin
+    let names = Array.make (2 * t.count) "" in
+    Array.blit t.names 0 names 0 t.count;
+    t.names <- names
+  end;
+  let v = t.count in
+  t.names.(v) <- vname;
+  t.count <- v + 1;
+  Hashtbl.add t.by_name vname v;
+  v
+
+let nvars t = t.count
+
+let var_name t v =
+  if v < 0 || v >= t.count then invalid_arg "Model.var_name: out of range";
+  t.names.(v)
+
+let find_var t vname = Hashtbl.find_opt t.by_name vname
+
+let merge_terms terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (c, v) ->
+      let c0 = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (c0 + c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0 then acc else (c, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let add_row t ?name terms sense rhs =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.count then
+        invalid_arg (Printf.sprintf "Model.add_row: variable %d out of range" v))
+    terms;
+  let rname = match name with Some n -> n | None -> Printf.sprintf "c%d" t.nrows in
+  t.rev_rows <- { name = rname; terms = merge_terms terms; sense; rhs } :: t.rev_rows;
+  t.nrows <- t.nrows + 1
+
+let set_objective t obj =
+  (match obj with
+  | Feasibility -> ()
+  | Minimize terms ->
+      List.iter
+        (fun (_, v) ->
+          if v < 0 || v >= t.count then
+            invalid_arg "Model.set_objective: variable out of range")
+        terms);
+  t.obj <- (match obj with Feasibility -> Feasibility | Minimize ts -> Minimize (merge_terms ts))
+
+let objective t = t.obj
+let rows t = List.rev t.rev_rows
+let nrows t = t.nrows
+
+let eval_terms terms assign =
+  List.fold_left (fun acc (c, v) -> if assign v then acc + c else acc) 0 terms
+
+let row_satisfied row assign =
+  let lhs = eval_terms row.terms assign in
+  match row.sense with Le -> lhs <= row.rhs | Ge -> lhs >= row.rhs | Eq -> lhs = row.rhs
+
+let feasible t assign = List.for_all (fun r -> row_satisfied r assign) (rows t)
+
+let objective_value t assign =
+  match t.obj with Feasibility -> 0 | Minimize terms -> eval_terms terms assign
+
+let validate t =
+  let errs = ref [] in
+  let seen = Hashtbl.create 64 in
+  for v = 0 to t.count - 1 do
+    let n = t.names.(v) in
+    if Hashtbl.mem seen n then errs := Printf.sprintf "duplicate variable name %S" n :: !errs;
+    Hashtbl.replace seen n ()
+  done;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)

@@ -1,0 +1,69 @@
+(** 0-1 integer linear programs.
+
+    The mapping formulation of the paper is a pure binary program with
+    integer coefficients, so the model is deliberately specialised:
+    every variable is binary, and constraints are integer linear rows
+    with a sense.  Models are built imperatively and then handed to
+    {!Solve} (or exported through {!Lp_format}). *)
+
+type t
+
+type var = int
+(** Dense variable index, 0-based. *)
+
+type sense = Le | Ge | Eq
+
+type term = int * var
+(** [coeff * variable]. *)
+
+type row = { name : string; terms : term list; sense : sense; rhs : int }
+
+type objective =
+  | Feasibility           (** no objective: any feasible point is optimal *)
+  | Minimize of term list
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val add_binary : t -> string -> var
+(** Add a fresh binary variable.  Names must be unique and non-empty
+    (they become LP-file identifiers). *)
+
+val nvars : t -> int
+val var_name : t -> var -> string
+val find_var : t -> string -> var option
+
+val add_row : t -> ?name:string -> term list -> sense -> int -> unit
+(** Add a constraint row.  Terms on the same variable are merged;
+    zero-coefficient terms are dropped.
+    @raise Invalid_argument on unknown variables. *)
+
+val set_branch_priority : t -> var -> float -> unit
+(** Branching hint forwarded to the solving engines: variables with
+    higher priority are decided first.  Default 0. *)
+
+val branch_priority : t -> var -> float
+
+val set_branch_phase : t -> var -> bool -> unit
+(** Polarity hint: the value the variable is first decided to.
+    Default [false]. *)
+
+val branch_phase : t -> var -> bool
+
+val set_objective : t -> objective -> unit
+val objective : t -> objective
+val rows : t -> row list
+val nrows : t -> int
+
+(** {1 Evaluation} — used by checkers and the reference solver. *)
+
+val eval_terms : term list -> (var -> bool) -> int
+val row_satisfied : row -> (var -> bool) -> bool
+val feasible : t -> (var -> bool) -> bool
+(** Does the assignment satisfy every row? *)
+
+val objective_value : t -> (var -> bool) -> int
+(** Value of the objective terms (0 for [Feasibility]). *)
+
+val validate : t -> (unit, string list) result
+(** Check name uniqueness and index ranges. *)

@@ -1,0 +1,156 @@
+type t = {
+  reduced : Model.t;
+  infeasible : bool;
+  fixed : (Model.var * bool) list;
+  old_of_new : Model.var array;
+  objective_offset : int;
+}
+
+(* Internal working form: rows as arrays, with a liveness flag. *)
+type wrow = {
+  terms : (int * int) array;
+  sense : Model.sense;
+  rhs : int;
+  name : string;
+  mutable live : bool;
+}
+
+let run model =
+  let n = Model.nvars model in
+  (* -1 unknown / 0 / 1 *)
+  let value = Array.make n (-1) in
+  let infeasible = ref false in
+  let rows =
+    List.map
+      (fun (r : Model.row) ->
+        { terms = Array.of_list r.terms; sense = r.sense; rhs = r.rhs; name = r.name; live = true })
+      (Model.rows model)
+  in
+  (* Attainable [lo, hi] of a row's LHS under current fixings. *)
+  let range row =
+    Array.fold_left
+      (fun (lo, hi) (c, v) ->
+        match value.(v) with
+        | 0 -> (lo, hi)
+        | 1 -> (lo + c, hi + c)
+        | _ -> if c > 0 then (lo, hi + c) else (lo + c, hi))
+      (0, 0) row.terms
+  in
+  let fix v b changed =
+    match value.(v) with
+    | -1 ->
+        value.(v) <- (if b then 1 else 0);
+        changed := true
+    | x -> if (x = 1) <> b then infeasible := true
+  in
+  let step changed =
+    List.iter
+      (fun row ->
+        if row.live && not !infeasible then begin
+          let lo, hi = range row in
+          let dead_le = match row.sense with Model.Le | Model.Eq -> lo > row.rhs | Model.Ge -> false in
+          let dead_ge = match row.sense with Model.Ge | Model.Eq -> hi < row.rhs | Model.Le -> false in
+          if dead_le || dead_ge then infeasible := true
+          else begin
+            let slack_hi = match row.sense with Model.Le | Model.Eq -> Some (row.rhs - lo) | Model.Ge -> None in
+            let slack_lo = match row.sense with Model.Ge | Model.Eq -> Some (hi - row.rhs) | Model.Le -> None in
+            (* Force any unfixed variable whose "bad" setting overflows
+               the remaining slack. *)
+            Array.iter
+              (fun (c, v) ->
+                if value.(v) = -1 then begin
+                  (match slack_hi with
+                  | Some s ->
+                      (* raising LHS by |c| must stay within s *)
+                      if c > 0 && c > s then fix v false changed
+                      else if c < 0 && -c > s then fix v true changed
+                  | None -> ());
+                  match slack_lo with
+                  | Some s ->
+                      (* lowering LHS by |c| must stay within s *)
+                      if c > 0 && c > s then fix v true changed
+                      else if c < 0 && -c > s then fix v false changed
+                  | None -> ()
+                end)
+              row.terms;
+            (* Drop rows that can no longer be violated. *)
+            let lo, hi = range row in
+            let ok =
+              match row.sense with
+              | Model.Le -> hi <= row.rhs
+              | Model.Ge -> lo >= row.rhs
+              | Model.Eq -> lo = row.rhs && hi = row.rhs
+            in
+            if ok then row.live <- false
+          end
+        end)
+      rows
+  in
+  let continue = ref true in
+  while !continue && not !infeasible do
+    let changed = ref false in
+    step changed;
+    continue := !changed
+  done;
+  (* Rebuild the reduced model. *)
+  let reduced = Model.create ~name:(Model.name model ^ "+presolved") () in
+  let new_of_old = Array.make n (-1) in
+  let old_of_new = ref [] in
+  for v = 0 to n - 1 do
+    if value.(v) = -1 then begin
+      let nv = Model.add_binary reduced (Model.var_name model v) in
+      new_of_old.(v) <- nv;
+      let p = Model.branch_priority model v in
+      if p <> 0.0 then Model.set_branch_priority reduced nv p;
+      if Model.branch_phase model v then Model.set_branch_phase reduced nv true;
+      old_of_new := v :: !old_of_new
+    end
+  done;
+  let old_of_new = Array.of_list (List.rev !old_of_new) in
+  if not !infeasible then
+    List.iter
+      (fun row ->
+        if row.live then begin
+          let const = ref 0 in
+          let terms =
+            Array.to_list row.terms
+            |> List.filter_map (fun (c, v) ->
+                   match value.(v) with
+                   | 1 ->
+                       const := !const + c;
+                       None
+                   | 0 -> None
+                   | _ -> Some (c, new_of_old.(v)))
+          in
+          Model.add_row reduced ~name:row.name terms row.sense (row.rhs - !const)
+        end)
+      rows;
+  let objective_offset =
+    match Model.objective model with
+    | Model.Feasibility -> 0
+    | Model.Minimize terms ->
+        List.fold_left (fun acc (c, v) -> if value.(v) = 1 then acc + c else acc) 0 terms
+  in
+  (match Model.objective model with
+  | Model.Feasibility -> ()
+  | Model.Minimize terms ->
+      let reduced_terms =
+        List.filter_map
+          (fun (c, v) -> if value.(v) = -1 then Some (c, new_of_old.(v)) else None)
+          terms
+      in
+      Model.set_objective reduced (Model.Minimize reduced_terms));
+  let fixed = ref [] in
+  for v = n - 1 downto 0 do
+    if value.(v) >= 0 then fixed := (v, value.(v) = 1) :: !fixed
+  done;
+  { reduced; infeasible = !infeasible; fixed = !fixed; old_of_new; objective_offset }
+
+let lift ~original t assign =
+  let full = Array.make (Model.nvars original) false in
+  List.iter (fun (v, b) -> full.(v) <- b) t.fixed;
+  Array.iteri (fun nv ov -> full.(ov) <- assign.(nv)) t.old_of_new;
+  full
+
+let n_fixed t = List.length t.fixed
+let n_rows_dropped ~original t = Model.nrows original - Model.nrows t.reduced

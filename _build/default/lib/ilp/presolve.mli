@@ -1,0 +1,24 @@
+(** Bound-propagation presolve for 0-1 models.
+
+    Iterates two rules to a fixpoint: a row whose attainable range can
+    never violate it is dropped; a variable whose setting would force a
+    violation is fixed to the opposite value.  The reduced model has
+    fixed variables substituted out (their objective contribution is
+    carried in [objective_offset]) and survivors renumbered densely. *)
+
+type t = {
+  reduced : Model.t;
+  infeasible : bool;        (** a row was proven unsatisfiable *)
+  fixed : (Model.var * bool) list;  (** original-variable fixings *)
+  old_of_new : Model.var array;     (** reduced index -> original index *)
+  objective_offset : int;   (** objective value contributed by fixings *)
+}
+
+val run : Model.t -> t
+
+val lift : original:Model.t -> t -> bool array -> bool array
+(** Extend an assignment of the reduced model to the original
+    variables. *)
+
+val n_fixed : t -> int
+val n_rows_dropped : original:Model.t -> t -> int

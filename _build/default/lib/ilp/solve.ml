@@ -1,0 +1,145 @@
+module Solver = Cgra_satoca.Solver
+module Card = Cgra_satoca.Card
+module Deadline = Cgra_util.Deadline
+
+type engine = Sat_backed | Branch_and_bound | Brute_force
+
+type outcome =
+  | Optimal of bool array * int
+  | Feasible of bool array * int
+  | Infeasible
+  | Timeout
+
+type report = {
+  outcome : outcome;
+  solve_seconds : float;
+  sat_calls : int;
+  presolve_fixed : int;
+}
+
+let pp_outcome fmt = function
+  | Optimal (_, obj) -> Format.fprintf fmt "optimal (objective %d)" obj
+  | Feasible (_, obj) -> Format.fprintf fmt "feasible (objective %d, not proven optimal)" obj
+  | Infeasible -> Format.fprintf fmt "infeasible"
+  | Timeout -> Format.fprintf fmt "timeout"
+
+(* ---------------- SAT-backed engine ---------------- *)
+
+let solve_sat ~deadline model sat_calls =
+  let enc = Encode.encode model in
+  let solver = enc.Encode.solver in
+  incr sat_calls;
+  match Solver.solve ~deadline solver with
+  | Solver.Unsat -> Infeasible
+  | Solver.Unknown -> Timeout
+  | Solver.Sat -> (
+      match Model.objective model with
+      | Model.Feasibility -> Optimal (Encode.assignment enc model, 0)
+      | Model.Minimize _ ->
+          (* Solution-improving descent: bound the weighted objective
+             literals below the incumbent and re-solve until UNSAT. *)
+          let weighted = enc.Encode.objective_lits in
+          let units = List.concat_map (fun (w, l) -> List.init w (fun _ -> l)) weighted in
+          let best_assign = ref (Encode.assignment enc model) in
+          let norm_value assign =
+            (* objective minus offset = number of true unit literals *)
+            Model.objective_value model (fun v -> assign.(v)) - enc.Encode.objective_offset
+          in
+          let best = ref (norm_value !best_assign) in
+          if units = [] then Optimal (!best_assign, Model.objective_value model (fun v -> !best_assign.(v)))
+          else begin
+            let tot = Card.Totalizer.build solver units in
+            let result = ref None in
+            while !result = None do
+              if !best = 0 then result := Some (Optimal (!best_assign, enc.Encode.objective_offset))
+              else begin
+                Card.Totalizer.assert_at_most tot (!best - 1);
+                incr sat_calls;
+                match Solver.solve ~deadline solver with
+                | Solver.Sat ->
+                    let a = Encode.assignment enc model in
+                    let v = norm_value a in
+                    (* The bound guarantees strict improvement. *)
+                    best_assign := a;
+                    best := v
+                | Solver.Unsat ->
+                    result :=
+                      Some (Optimal (!best_assign, !best + enc.Encode.objective_offset))
+                | Solver.Unknown ->
+                    result :=
+                      Some (Feasible (!best_assign, !best + enc.Encode.objective_offset))
+              end
+            done;
+            match !result with Some r -> r | None -> assert false
+          end)
+
+(* ---------------- brute force ---------------- *)
+
+let solve_brute model =
+  let n = Model.nvars model in
+  if n > 22 then invalid_arg "Solve: brute force limited to 22 variables";
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let assign v = (mask lsr v) land 1 = 1 in
+    if Model.feasible model assign then begin
+      let obj = Model.objective_value model assign in
+      match !best with
+      | Some (_, b) when b <= obj -> ()
+      | _ -> best := Some (Array.init n assign, obj)
+    end
+  done;
+  match !best with Some (a, obj) -> Optimal (a, obj) | None -> Infeasible
+
+(* ---------------- unified front end ---------------- *)
+
+let with_presolve ~presolve model k =
+  if not presolve then k model None
+  else begin
+    let p = Presolve.run model in
+    if p.Presolve.infeasible then Infeasible else k p.Presolve.reduced (Some p)
+  end
+
+let lift_outcome ~original p outcome =
+  match p with
+  | None -> outcome
+  | Some p -> (
+      let lift a = Presolve.lift ~original p a in
+      let off = p.Presolve.objective_offset in
+      match outcome with
+      | Optimal (a, obj) -> Optimal (lift a, obj + off)
+      | Feasible (a, obj) -> Feasible (lift a, obj + off)
+      | Infeasible -> Infeasible
+      | Timeout -> Timeout)
+
+let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve = true) model =
+  let start = Deadline.now () in
+  let sat_calls = ref 0 in
+  let presolve_fixed = ref 0 in
+  let outcome =
+    match engine with
+    | Brute_force -> solve_brute model
+    | Sat_backed ->
+        with_presolve ~presolve model (fun reduced p ->
+            (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
+            lift_outcome ~original:model p (solve_sat ~deadline reduced sat_calls))
+    | Branch_and_bound ->
+        with_presolve ~presolve model (fun reduced p ->
+            (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
+            let sub =
+              match Bnb.solve ~deadline reduced with
+              | Bnb.Optimal (a, obj) -> Optimal (a, obj)
+              | Bnb.Infeasible -> Infeasible
+              | Bnb.Timeout (Some (a, obj)) -> Feasible (a, obj)
+              | Bnb.Timeout None -> Timeout
+            in
+            lift_outcome ~original:model p sub)
+  in
+  {
+    outcome;
+    solve_seconds = Deadline.elapsed_of ~start;
+    sat_calls = !sat_calls;
+    presolve_fixed = !presolve_fixed;
+  }
+
+let solve ?deadline ?engine ?presolve model =
+  (solve_report ?deadline ?engine ?presolve model).outcome

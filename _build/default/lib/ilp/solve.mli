@@ -1,0 +1,39 @@
+(** Engine-agnostic solving of 0-1 models.
+
+    This is the stand-in for the paper's Gurobi call.  Every engine is
+    complete, so the tri-state answer carries the same guarantees the
+    paper relies on: a definite optimum, a definite infeasibility, or a
+    timeout.
+
+    - [Sat_backed] (default): presolve, clausify into the CDCL solver,
+      and minimise the objective by solution-improving descent over an
+      incremental totalizer bound; the final UNSAT answer is the
+      optimality proof.
+    - [Branch_and_bound]: the direct PB branch-and-bound of {!Bnb}.
+    - [Brute_force]: exhaustive enumeration (tests only; <= ~22 vars). *)
+
+type engine = Sat_backed | Branch_and_bound | Brute_force
+
+type outcome =
+  | Optimal of bool array * int
+      (** assignment over the model's variables, objective value *)
+  | Feasible of bool array * int
+      (** deadline hit during optimisation; best incumbent returned *)
+  | Infeasible  (** proven: no assignment satisfies the rows *)
+  | Timeout     (** deadline hit before any feasible point was found *)
+
+type report = {
+  outcome : outcome;
+  solve_seconds : float;
+  sat_calls : int;       (** SAT invocations (descent steps); 0 for other engines *)
+  presolve_fixed : int;  (** variables eliminated by presolve *)
+}
+
+val solve : ?deadline:Cgra_util.Deadline.t -> ?engine:engine -> ?presolve:bool -> Model.t -> outcome
+(** Solve the model.  [presolve] defaults to [true] (ignored by
+    [Brute_force]). *)
+
+val solve_report : ?deadline:Cgra_util.Deadline.t -> ?engine:engine -> ?presolve:bool -> Model.t -> report
+(** Like {!solve} with timing and search statistics. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

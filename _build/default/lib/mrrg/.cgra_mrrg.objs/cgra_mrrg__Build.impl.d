@@ -1,0 +1,1 @@
+lib/mrrg/build.ml: Array Cgra_arch Hashtbl List Mrrg Printf

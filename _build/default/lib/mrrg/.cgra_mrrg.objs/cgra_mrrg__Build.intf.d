@@ -1,0 +1,1 @@
+lib/mrrg/build.mli: Cgra_arch Mrrg

@@ -1,0 +1,1 @@
+lib/mrrg/mrrg.ml: Array Buffer Cgra_dfg Format Hashtbl List Printf String

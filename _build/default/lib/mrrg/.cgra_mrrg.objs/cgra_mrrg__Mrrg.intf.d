@@ -1,0 +1,1 @@
+lib/mrrg/mrrg.mli: Cgra_dfg

@@ -1,0 +1,196 @@
+module Op = Cgra_dfg.Op
+
+type kind = Route | Func of Op.t list
+
+type node = { id : int; name : string; ctx : int; kind : kind; operand : int option }
+
+type t = {
+  ii : int;
+  nodes : node array;
+  succs : int list array;
+  preds : int list array;
+  by_name : (string, int) Hashtbl.t;
+  n_edges : int;
+}
+
+module Builder = struct
+  type t = {
+    bii : int;
+    mutable rev_nodes : node list;
+    mutable count : int;
+    names : (string, int) Hashtbl.t;
+    edges : (int * int, unit) Hashtbl.t;
+    mutable rev_edges : (int * int) list;
+  }
+
+  let create ~ii =
+    if ii < 1 then invalid_arg "Mrrg.Builder.create: ii must be >= 1";
+    {
+      bii = ii;
+      rev_nodes = [];
+      count = 0;
+      names = Hashtbl.create 256;
+      edges = Hashtbl.create 1024;
+      rev_edges = [];
+    }
+
+  let add_node b ~name ~ctx ~kind ?operand () =
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Mrrg.Builder.add_node: duplicate name %S" name);
+    if ctx < 0 || ctx >= b.bii then
+      invalid_arg (Printf.sprintf "Mrrg.Builder.add_node: context %d out of range" ctx);
+    let id = b.count in
+    b.count <- id + 1;
+    b.rev_nodes <- { id; name; ctx; kind; operand } :: b.rev_nodes;
+    Hashtbl.add b.names name id;
+    id
+
+  let add_edge b ~src ~dst =
+    if src < 0 || src >= b.count || dst < 0 || dst >= b.count then
+      invalid_arg "Mrrg.Builder.add_edge: node out of range";
+    if not (Hashtbl.mem b.edges (src, dst)) then begin
+      Hashtbl.add b.edges (src, dst) ();
+      b.rev_edges <- (src, dst) :: b.rev_edges
+    end
+
+  let freeze b =
+    let nodes = Array.of_list (List.rev b.rev_nodes) in
+    let n = Array.length nodes in
+    let succs = Array.make n [] and preds = Array.make n [] in
+    List.iter
+      (fun (s, d) ->
+        succs.(s) <- d :: succs.(s);
+        preds.(d) <- s :: preds.(d))
+      b.rev_edges;
+    {
+      ii = b.bii;
+      nodes;
+      succs;
+      preds;
+      by_name = b.names;
+      n_edges = List.length b.rev_edges;
+    }
+end
+
+let ii t = t.ii
+let n_nodes t = Array.length t.nodes
+let n_edges t = t.n_edges
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Mrrg.node: out of range";
+  t.nodes.(i)
+
+let nodes t = Array.to_list t.nodes
+let find t name = Hashtbl.find_opt t.by_name name
+let fanouts t i = t.succs.(i)
+let fanins t i = t.preds.(i)
+
+let is_func t i = match t.nodes.(i).kind with Func _ -> true | Route -> false
+let is_route t i = not (is_func t i)
+
+let func_units t =
+  Array.to_list t.nodes |> List.filter_map (fun n -> if is_func t n.id then Some n.id else None)
+
+let route_nodes t =
+  Array.to_list t.nodes |> List.filter_map (fun n -> if is_route t n.id then Some n.id else None)
+
+let supports t i op =
+  match t.nodes.(i).kind with
+  | Func ops -> List.exists (Op.equal op) ops
+  | Route -> false
+
+type stats = { n_route : int; n_func : int; n_edges : int; per_context : int array }
+
+let stats t =
+  let per_context = Array.make t.ii 0 in
+  let n_route = ref 0 and n_func = ref 0 in
+  Array.iter
+    (fun n ->
+      per_context.(n.ctx) <- per_context.(n.ctx) + 1;
+      match n.kind with Route -> incr n_route | Func _ -> incr n_func)
+    t.nodes;
+  { n_route = !n_route; n_func = !n_func; n_edges = t.n_edges; per_context }
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Func ops ->
+          if ops = [] then err "func node %s supports nothing" n.name;
+          List.iter
+            (fun s -> if is_func t s then err "func-to-func edge %s -> %s" n.name t.nodes.(s).name)
+            t.succs.(n.id);
+          let operands =
+            List.filter_map (fun p -> t.nodes.(p).operand) t.preds.(n.id) |> List.sort compare
+          in
+          let distinct = List.sort_uniq compare operands in
+          if List.length distinct <> List.length operands then
+            err "func node %s has duplicate operand ports" n.name;
+          List.iter
+            (fun p ->
+              if t.nodes.(p).operand = None then
+                err "func node %s has fanin %s without operand annotation" n.name t.nodes.(p).name)
+            t.preds.(n.id)
+      | Route ->
+          if n.operand <> None then
+            if not (List.exists (fun s -> is_func t s) t.succs.(n.id)) then
+              err "route node %s has operand annotation but feeds no func unit" n.name)
+    t.nodes;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph mrrg {\n  rankdir=LR;\n";
+  Array.iter
+    (fun n ->
+      let shape, label =
+        match n.kind with
+        | Route -> ("ellipse", n.name)
+        | Func ops ->
+            ("box", Printf.sprintf "%s\\n%s" n.name (String.concat "," (List.map Op.to_string ops)))
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [shape=%s label=\"%s\"];\n" n.id shape label))
+    t.nodes;
+  Array.iteri
+    (fun i succs ->
+      List.iter (fun s -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i s)) succs)
+    t.succs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Forward/backward closure through route nodes: functional units act
+   as barriers (values enter and leave FUs only via placement, not
+   routing). *)
+let closure t ~starts ~next =
+  let n = Array.length t.nodes in
+  let mark = Array.make n false in
+  let stack = ref [] in
+  List.iter
+    (fun s ->
+      if not mark.(s) then begin
+        mark.(s) <- true;
+        stack := s :: !stack
+      end)
+    starts;
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        List.iter
+          (fun y ->
+            if (not mark.(y)) && is_route t y then begin
+              mark.(y) <- true;
+              stack := y :: !stack
+            end)
+          (next x);
+        go ()
+  in
+  go ();
+  mark
+
+let reachable t ~from = closure t ~starts:[ from ] ~next:(fun i -> t.succs.(i))
+let reachable_from t ~starts = closure t ~starts ~next:(fun i -> t.succs.(i))
+let co_reachable t ~targets = closure t ~starts:targets ~next:(fun i -> t.preds.(i))

@@ -1,0 +1,92 @@
+(** Modulo Routing Resource Graphs (paper §3.2).
+
+    An MRRG is a directed graph with one replica of the device's
+    resources per context (cycle of the initiation interval II).
+    Vertices are either routing resources ([Route]) or functional-unit
+    execution slots ([Func]); edges model the ability to move a value
+    from one resource to the next, including across the modulo context
+    boundary (registers connect context [c] to [(c+1) mod II]).
+
+    Nodes are named ["c<ctx>.<instance>.<port>"], which the golden
+    tests for the paper's Figs. 1–3 rely on. *)
+
+type kind =
+  | Route
+  | Func of Cgra_dfg.Op.t list  (** supported operations of the slot *)
+
+type node = private {
+  id : int;
+  name : string;
+  ctx : int;                (** context (cycle mod II) the node lives in *)
+  kind : kind;
+  operand : int option;
+      (** for a [Route] node that is a functional unit's input port:
+          which operand position it feeds *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type mrrg := t
+  type t
+
+  val create : ii:int -> t
+
+  val add_node : t -> name:string -> ctx:int -> kind:kind -> ?operand:int -> unit -> int
+  (** Returns the node id.  @raise Invalid_argument on duplicate names
+      or out-of-range contexts. *)
+
+  val add_edge : t -> src:int -> dst:int -> unit
+  (** Duplicate edges are ignored. *)
+
+  val freeze : t -> mrrg
+end
+
+(** {1 Accessors} *)
+
+val ii : t -> int
+val n_nodes : t -> int
+val n_edges : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+val find : t -> string -> int option
+val fanouts : t -> int -> int list
+val fanins : t -> int -> int list
+
+val func_units : t -> int list
+(** Ids of all [Func] nodes. *)
+
+val route_nodes : t -> int list
+
+val supports : t -> int -> Cgra_dfg.Op.t -> bool
+(** Can the functional-unit node execute the operation?  [false] for
+    [Route] nodes. *)
+
+val is_route : t -> int -> bool
+val is_func : t -> int -> bool
+
+type stats = { n_route : int; n_func : int; n_edges : int; per_context : int array }
+
+val stats : t -> stats
+
+(** {1 Structural checks and export} *)
+
+val validate : t -> (unit, string list) result
+(** Paper-model invariants: no [Func]→[Func] edges; every [Func] node's
+    fanins are operand-annotated [Route] nodes with distinct positions;
+    operand annotations only on nodes that feed a [Func]. *)
+
+val to_dot : t -> string
+
+val reachable : t -> from:int -> bool array
+(** Forward reachability through [Route] nodes only: flags every route
+    node reachable from [from] (itself included if it is a route node)
+    without passing through a functional unit. *)
+
+val reachable_from : t -> starts:int list -> bool array
+(** Multi-source variant of {!reachable}. *)
+
+val co_reachable : t -> targets:int list -> bool array
+(** Backward reachability through [Route] nodes from a set of targets. *)

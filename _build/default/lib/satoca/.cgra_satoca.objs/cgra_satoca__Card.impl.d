@@ -1,0 +1,1 @@
+lib/satoca/card.ml: Array List Lit Solver

@@ -1,0 +1,1 @@
+lib/satoca/card.mli: Lit Solver

@@ -1,0 +1,1 @@
+lib/satoca/dimacs.ml: Buffer List Lit Printf Solver String

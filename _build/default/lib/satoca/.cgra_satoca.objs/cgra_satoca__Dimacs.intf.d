@@ -1,0 +1,1 @@
+lib/satoca/dimacs.mli: Lit Solver

@@ -1,0 +1,1 @@
+lib/satoca/lit.ml: Format

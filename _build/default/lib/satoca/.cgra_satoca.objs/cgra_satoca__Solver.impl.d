@@ -1,0 +1,1 @@
+lib/satoca/solver.ml: Array Bytes Cgra_util Char Int64 List Lit

@@ -1,0 +1,1 @@
+lib/satoca/solver.mli: Cgra_util Lit

@@ -1,0 +1,131 @@
+type encoding = Pairwise | Sequential
+
+let at_least_one solver lits =
+  match lits with
+  | [] -> Solver.add_clause solver [] (* unsatisfiable *)
+  | _ -> Solver.add_clause solver lits
+
+let pairwise solver lits =
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      Solver.add_clause solver [ Lit.negate arr.(i); Lit.negate arr.(j) ]
+    done
+  done
+
+(* Sinz's sequential counter specialised to k = 1: a ladder of "some
+   x_1..x_i is true" flags. *)
+let sequential_amo solver lits =
+  match Array.of_list lits with
+  | [||] | [| _ |] -> ()
+  | arr ->
+      let n = Array.length arr in
+      let s = Array.init (n - 1) (fun _ -> Lit.pos (Solver.new_var solver)) in
+      Solver.add_clause solver [ Lit.negate arr.(0); s.(0) ];
+      for i = 1 to n - 2 do
+        Solver.add_clause solver [ Lit.negate arr.(i); s.(i) ];
+        Solver.add_clause solver [ Lit.negate s.(i - 1); s.(i) ];
+        Solver.add_clause solver [ Lit.negate arr.(i); Lit.negate s.(i - 1) ]
+      done;
+      Solver.add_clause solver [ Lit.negate arr.(n - 1); Lit.negate s.(n - 2) ]
+
+let at_most_one ?encoding solver lits =
+  let n = List.length lits in
+  if n >= 2 then
+    match encoding with
+    | Some Pairwise -> pairwise solver lits
+    | Some Sequential -> sequential_amo solver lits
+    | None -> if n <= 6 then pairwise solver lits else sequential_amo solver lits
+
+let exactly_one ?encoding solver lits =
+  at_least_one solver lits;
+  at_most_one ?encoding solver lits
+
+let at_most_k solver lits k =
+  if k < 0 then invalid_arg "Card.at_most_k: negative bound";
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  if k = 0 then Array.iter (fun l -> Solver.add_clause solver [ Lit.negate l ]) arr
+  else if n > k then begin
+    if k = 1 then at_most_one solver lits
+    else begin
+      (* Sinz 2005: s.(i).(j) == "at least j+1 of x_0..x_i are true". *)
+      let s = Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Lit.pos (Solver.new_var solver))) in
+      Solver.add_clause solver [ Lit.negate arr.(0); s.(0).(0) ];
+      for j = 1 to k - 1 do
+        Solver.add_clause solver [ Lit.negate s.(0).(j) ]
+      done;
+      for i = 1 to n - 2 do
+        Solver.add_clause solver [ Lit.negate arr.(i); s.(i).(0) ];
+        Solver.add_clause solver [ Lit.negate s.(i - 1).(0); s.(i).(0) ];
+        for j = 1 to k - 1 do
+          Solver.add_clause solver
+            [ Lit.negate arr.(i); Lit.negate s.(i - 1).(j - 1); s.(i).(j) ];
+          Solver.add_clause solver [ Lit.negate s.(i - 1).(j); s.(i).(j) ]
+        done;
+        Solver.add_clause solver [ Lit.negate arr.(i); Lit.negate s.(i - 1).(k - 1) ]
+      done;
+      Solver.add_clause solver [ Lit.negate arr.(n - 1); Lit.negate s.(n - 2).(k - 1) ]
+    end
+  end
+
+let at_least_k solver lits k =
+  if k <= 0 then ()
+  else begin
+    let n = List.length lits in
+    if k > n then Solver.add_clause solver []
+    else if k = n then List.iter (fun l -> Solver.add_clause solver [ l ]) lits
+    else if k = 1 then at_least_one solver lits
+    else at_most_k solver (List.map Lit.negate lits) (n - k)
+  end
+
+module Totalizer = struct
+  type t = { solver : Solver.t; outputs : Lit.t array; mutable bound : int }
+
+  (* Merge two sorted-count output vectors: r.(c-1) == "at least c
+     inputs are true".  Only the upward implications are emitted — they
+     are what an at-most bound needs to propagate. *)
+  let merge solver a b =
+    let m = Array.length a and n = Array.length b in
+    let r = Array.init (m + n) (fun _ -> Lit.pos (Solver.new_var solver)) in
+    for i = 0 to m - 1 do
+      Solver.add_clause solver [ Lit.negate a.(i); r.(i) ]
+    done;
+    for j = 0 to n - 1 do
+      Solver.add_clause solver [ Lit.negate b.(j); r.(j) ]
+    done;
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        Solver.add_clause solver [ Lit.negate a.(i); Lit.negate b.(j); r.(i + j + 1) ]
+      done
+    done;
+    r
+
+  let rec tree solver = function
+    | [] -> [||]
+    | [ l ] -> [| l |]
+    | lits ->
+        let n = List.length lits in
+        let rec split i acc = function
+          | rest when i = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (i - 1) (x :: acc) rest
+          | [] -> (List.rev acc, [])
+        in
+        let left, right = split (n / 2) [] lits in
+        merge solver (tree solver left) (tree solver right)
+
+  let build solver lits = { solver; outputs = tree solver lits; bound = max_int }
+
+  let outputs t = t.outputs
+
+  let assert_at_most t k =
+    if k < 0 then invalid_arg "Totalizer.assert_at_most: negative bound";
+    if k < t.bound then begin
+      t.bound <- k;
+      (* force "not (at least k+1)" .. only the tightest is needed but
+         the extra units are free and keep the intent obvious *)
+      if k < Array.length t.outputs then
+        Solver.add_clause t.solver [ Lit.negate t.outputs.(k) ]
+    end
+end

@@ -1,0 +1,44 @@
+(** Cardinality constraints over literals, clausified into a solver.
+
+    These encodings turn the pseudo-Boolean constraints of the mapping
+    ILP (at-most-one route usage, exactly-one placement, bounded
+    objective) into CNF.  All encodings are {e arc-consistent}: unit
+    propagation alone enforces the bound. *)
+
+type encoding = Pairwise | Sequential
+(** At-most-one flavours: [Pairwise] adds n(n-1)/2 binary clauses (best
+    for small n); [Sequential] adds a commander-style ladder with O(n)
+    clauses and auxiliary variables.  {!at_most_one} picks automatically
+    when not forced. *)
+
+val at_most_one : ?encoding:encoding -> Solver.t -> Lit.t list -> unit
+(** At most one of the literals is true. *)
+
+val at_least_one : Solver.t -> Lit.t list -> unit
+(** Simply the clause over the literals. *)
+
+val exactly_one : ?encoding:encoding -> Solver.t -> Lit.t list -> unit
+
+val at_most_k : Solver.t -> Lit.t list -> int -> unit
+(** Sequential-counter encoding of [sum lits <= k].  [k >= 0]. *)
+
+val at_least_k : Solver.t -> Lit.t list -> int -> unit
+(** [sum lits >= k], by [at_most (n-k)] on the negated literals. *)
+
+(** Incremental totalizer: builds a sorting tree over the literals whose
+    output literals [o_1 .. o_n] satisfy (o_j true iff at least j inputs
+    are true).  The objective-descent loop of the ILP solver strengthens
+    the bound by asserting [~o_{k+1}] units without re-encoding. *)
+module Totalizer : sig
+  type t
+
+  val build : Solver.t -> Lit.t list -> t
+  (** Clausify the tree; inputs may repeat. *)
+
+  val outputs : t -> Lit.t array
+  (** [outputs.(j)] is the literal "at least j+1 inputs true". *)
+
+  val assert_at_most : t -> int -> unit
+  (** [assert_at_most t k] adds units forcing [sum <= k]; monotone —
+      later calls may only lower [k]. *)
+end

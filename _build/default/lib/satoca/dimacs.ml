@@ -1,0 +1,64 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> error := Some (Printf.sprintf "bad literal %S" tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some d -> current := Lit.of_dimacs d :: !current
+  in
+  List.iter
+    (fun line ->
+      if !error = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "p"; "cnf"; nv; _nc ] -> (
+              match int_of_string_opt nv with
+              | Some n -> nvars := n
+              | None -> error := Some "bad p-line")
+          | _ -> error := Some "bad p-line"
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+          |> List.iter handle_token)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !current <> [] then Error "clause not terminated by 0"
+      else begin
+        let clauses = List.rev !clauses in
+        let maxv =
+          List.fold_left
+            (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+            0 clauses
+        in
+        Ok ((if !nvars >= 0 then max !nvars maxv else maxv), clauses)
+      end
+
+let load solver text =
+  match parse text with
+  | Error e -> Error e
+  | Ok (nv, clauses) ->
+      let missing = nv - Solver.nvars solver in
+      if missing > 0 then ignore (Solver.new_vars solver missing);
+      List.iter (Solver.add_clause solver) clauses;
+      Ok ()
+
+let print ~nvars clauses =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf

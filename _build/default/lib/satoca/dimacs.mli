@@ -1,0 +1,13 @@
+(** DIMACS CNF import/export, for interop with external SAT tools and
+    for golden tests. *)
+
+val parse : string -> (int * Lit.t list list, string) result
+(** [parse text] reads a DIMACS CNF body: returns (variable count,
+    clauses).  Accepts comment lines and a [p cnf] header; tolerant of
+    extra whitespace. *)
+
+val load : Solver.t -> string -> (unit, string) result
+(** Parse and add everything to a solver (allocating variables). *)
+
+val print : nvars:int -> Lit.t list list -> string
+(** Render a clause list as DIMACS CNF. *)

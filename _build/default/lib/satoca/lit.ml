@@ -1,0 +1,15 @@
+type t = int
+
+let make v sign = (2 * v) + if sign then 0 else 1
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if d > 0 then pos (d - 1) else neg (-d - 1)
+
+let pp fmt l = Format.fprintf fmt "%s%d" (if sign l then "" else "~") (var l)

@@ -1,0 +1,33 @@
+(** Literals, encoded as non-negative integers.
+
+    Variable [v] (0-based) yields the positive literal [2v] and the
+    negative literal [2v+1].  This packing lets watch lists and
+    assignment tables be flat arrays. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal on variable [v]; positive when [sign]. *)
+
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg : int -> t
+(** Negative literal of a variable. *)
+
+val var : t -> int
+(** The underlying variable. *)
+
+val sign : t -> bool
+(** [true] for positive literals. *)
+
+val negate : t -> t
+(** Complement literal. *)
+
+val to_dimacs : t -> int
+(** 1-based signed integer as in the DIMACS format. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}; requires a non-zero argument. *)
+
+val pp : Format.formatter -> t -> unit

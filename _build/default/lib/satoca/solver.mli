@@ -1,0 +1,87 @@
+(** A complete CDCL SAT solver.
+
+    This is the decision engine beneath the ILP layer: conflict-driven
+    clause learning with two-watched-literal propagation, first-UIP
+    conflict analysis, VSIDS branching with phase saving, Luby restarts
+    and activity-based learnt-clause deletion.  It is {e complete}: on
+    an instance without a deadline it always answers [Sat] or [Unsat],
+    which is what lets the mapper prove feasibility or infeasibility
+    exactly as the paper's Gurobi-based flow does.
+
+    Clauses may be added between [solve] calls (the solver restarts to
+    the root level), enabling the objective-descent loop of the ILP
+    optimizer. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is only returned when a deadline expires. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt : int;  (** learnt clauses currently kept *)
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its 0-based index. *)
+
+val new_vars : t -> int -> int
+(** [new_vars t n] allocates [n] variables, returning the first index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause over existing variables.  Tautologies are dropped and
+    duplicate literals merged.  Adding the empty clause (or a clause
+    falsified at the root level) makes the instance permanently
+    unsatisfiable.  Must not be called during [solve]. *)
+
+val ok : t -> bool
+(** [false] once a root-level conflict has been established. *)
+
+val solve : ?deadline:Cgra_util.Deadline.t -> t -> result
+(** Decide the current clause set.  After [Sat], {!value} reads the
+    model; the model remains valid until the next [add_clause] or
+    [solve]. *)
+
+val value : t -> int -> bool
+(** Model value of a variable (only meaningful after [Sat]; variables
+    untouched by the search read as their saved phase, default
+    [false]). *)
+
+val lit_value : t -> Lit.t -> bool
+(** Model value of a literal. *)
+
+val stats : t -> stats
+
+val set_var_decay : t -> float -> unit
+(** VSIDS decay factor in (0,1); default 0.95. *)
+
+val set_activity : t -> int -> float -> unit
+(** Seed a variable's VSIDS activity — a branching hint: variables with
+    higher initial activity are decided first until conflict-driven
+    bumping takes over. *)
+
+val set_phase : t -> int -> bool -> unit
+(** Seed a variable's saved polarity: the value it is first decided to.
+    Phase saving overwrites it as search progresses. *)
+
+val seed_phases : t -> Lit.t list -> unit
+(** Warm-start from a (partial) assignment: the literals are placed on
+    a throwaway decision level and propagated, so that {e auxiliary}
+    variables (encoding ladders, counters) also receive phases
+    consistent with the assignment; everything is then backtracked,
+    leaving only saved polarities behind.  Inconsistent literals are
+    skipped.  No clauses are added and completeness is unaffected. *)
+
+val set_random_freq : t -> float -> unit
+(** Fraction of decisions made on a uniformly random unassigned
+    variable (default 0.02); 0 disables randomisation. *)
+
+val set_random_seed : t -> int -> unit
+(** Reseed the decision randomiser (deterministic by default). *)

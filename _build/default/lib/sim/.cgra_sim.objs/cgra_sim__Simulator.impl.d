@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Cgra_util Hashtbl List Option Printf String

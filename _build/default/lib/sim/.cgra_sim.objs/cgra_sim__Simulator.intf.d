@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Cgra_arch Cgra_core Cgra_dfg

@@ -1,0 +1,339 @@
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Arch = Cgra_arch.Arch
+module Primitive = Cgra_arch.Primitive
+module Mrrg = Cgra_mrrg.Mrrg
+module Mapping = Cgra_core.Mapping
+module Configgen = Cgra_core.Configgen
+module Rng = Cgra_util.Rng
+
+type binding = (int * int) list
+
+type outcome = {
+  cycles : int;
+  outputs : (string * int) list;
+  reference : (string * int) list;
+  matches : bool;
+}
+
+(* ---------------- 32-bit operation semantics ---------------- *)
+
+let mask v = v land 0xFFFFFFFF
+
+let apply2 op a b =
+  match (op : Op.t) with
+  | Op.Add -> mask (a + b)
+  | Op.Sub -> mask (a - b)
+  | Op.Mul -> mask (a * b)
+  | Op.Shl -> mask (a lsl (b land 31))
+  | Op.Shr -> mask a lsr (b land 31)
+  | Op.And -> a land b
+  | Op.Or -> a lor b
+  | Op.Xor -> a lxor b
+  | Op.Input | Op.Output | Op.Const | Op.Load | Op.Store ->
+      invalid_arg "Simulator.apply2: not a binary ALU operation"
+
+(* ---------------- reference DFG evaluation ---------------- *)
+
+let eval_dfg dfg binding =
+  let n = Dfg.node_count dfg in
+  let value = Array.make n None in
+  let bound q = List.assoc_opt q binding in
+  (* topological evaluation; loop-carried dependences never resolve *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (node : Dfg.node) ->
+        let q = node.Dfg.id in
+        if value.(q) = None then begin
+          let ins = Dfg.in_edges dfg q in
+          let operand i =
+            List.find_opt (fun (e : Dfg.edge) -> e.Dfg.operand = i) ins
+            |> Option.map (fun (e : Dfg.edge) -> value.(e.Dfg.src))
+            |> Option.join
+          in
+          let result =
+            match node.Dfg.op with
+            | Op.Input | Op.Const -> (
+                match bound q with
+                | Some v -> Some (mask v)
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "Simulator.eval_dfg: no binding for %s" node.Dfg.name))
+            | Op.Output | Op.Store -> None (* sinks produce no value *)
+            | Op.Load -> (
+                (* zero-initialised memory; aliasing with stores is
+                   rejected in [run] *)
+                match operand 0 with Some _ -> Some 0 | None -> None)
+            | Op.Add | Op.Sub | Op.Mul | Op.Shl | Op.Shr | Op.And | Op.Or | Op.Xor -> (
+                match (operand 0, operand 1) with
+                | Some a, Some b -> Some (apply2 node.Dfg.op a b)
+                | _ -> None)
+          in
+          if result <> None then begin
+            value.(q) <- result;
+            progress := true
+          end
+        end)
+      (Dfg.nodes dfg)
+  done;
+  (* every producer with consumers must have resolved *)
+  List.iter
+    (fun (v : Dfg.value) ->
+      if value.(v.Dfg.producer) = None then
+        invalid_arg "Simulator.eval_dfg: unresolved value (loop-carried dependence?)")
+    (Dfg.values dfg);
+  List.filter_map
+    (fun (node : Dfg.node) -> Option.map (fun v -> (node.Dfg.id, v)) value.(node.Dfg.id))
+    (Dfg.nodes dfg)
+
+let reference_outputs dfg binding =
+  let values = eval_dfg dfg binding in
+  List.filter_map
+    (fun (node : Dfg.node) ->
+      if node.Dfg.op = Op.Output then
+        match Dfg.in_edges dfg node.Dfg.id with
+        | [ e ] -> Some (node.Dfg.name, List.assoc e.Dfg.src values)
+        | _ -> None
+      else None)
+    (Dfg.nodes dfg)
+
+(* ---------------- name plumbing ---------------- *)
+
+(* MRRG node names are "c<ctx>.<inst>.<port>" (Build.node_name). *)
+let parse_node_name name =
+  match String.split_on_char '.' name with
+  | [ _c; inst; port ] -> (inst, port)
+  | _ -> invalid_arg (Printf.sprintf "Simulator: unexpected MRRG node name %S" name)
+
+(* ---------------- machine state ---------------- *)
+
+type machine = {
+  arch : Arch.t;
+  ii : int;
+  (* combinational value on every instance's output, per cycle *)
+  out_val : (string, int) Hashtbl.t;
+  (* register state: instance -> latched value *)
+  latch : (string, int) Hashtbl.t;
+  (* mem port state: instance -> address -> word *)
+  memories : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  (* per context: mux instance -> selected input port index *)
+  mux_select : (int * string, int) Hashtbl.t;
+  (* per context: fu instance -> op (dfg node id) *)
+  fu_op : (int * string, int) Hashtbl.t;
+  dfg : Dfg.t;
+  binding : binding;
+  (* output op name -> last observed value *)
+  observed : (string, int) Hashtbl.t;
+}
+
+let driver_value machine ep =
+  match Arch.driver machine.arch ep with
+  | None -> None
+  | Some src -> Hashtbl.find_opt machine.out_val src.Arch.inst
+
+let step machine t =
+  let ctx = t mod machine.ii in
+  Hashtbl.reset machine.out_val;
+  (* registers present their latched value for the whole cycle *)
+  Hashtbl.iter (fun inst v -> Hashtbl.replace machine.out_val inst v) machine.latch;
+  (* fixpoint over the combinational network *)
+  let stores = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (inst, prim) ->
+        if not (Hashtbl.mem machine.out_val inst) then
+          let computed =
+            match (prim : Primitive.t) with
+            | Primitive.Register -> None (* handled by latch *)
+            | Primitive.Multiplexer _ -> (
+                match Hashtbl.find_opt machine.mux_select (ctx, inst) with
+                | None -> None
+                | Some k -> driver_value machine { Arch.inst; port = Printf.sprintf "in%d" k })
+            | Primitive.Func_unit _ -> (
+                match Hashtbl.find_opt machine.fu_op (ctx, inst) with
+                | None -> None
+                | Some q -> (
+                    let node = Dfg.node machine.dfg q in
+                    let operand i =
+                      driver_value machine { Arch.inst; port = Printf.sprintf "in%d" i }
+                    in
+                    match node.Dfg.op with
+                    | Op.Input | Op.Const ->
+                        Option.map mask (List.assoc_opt q machine.binding)
+                    | Op.Output -> (
+                        (match operand 0 with
+                        | Some v -> Hashtbl.replace machine.observed node.Dfg.name v
+                        | None -> ());
+                        None)
+                    | Op.Load -> (
+                        match operand 0 with
+                        | Some addr -> (
+                            match Hashtbl.find_opt machine.memories inst with
+                            | Some mem ->
+                                Some (Option.value ~default:0 (Hashtbl.find_opt mem addr))
+                            | None -> Some 0)
+                        | None -> None)
+                    | Op.Store ->
+                        (match (operand 0, operand 1) with
+                        | Some addr, Some data -> stores := (inst, addr, data) :: !stores
+                        | _ -> ());
+                        None
+                    | Op.Add | Op.Sub | Op.Mul | Op.Shl | Op.Shr | Op.And | Op.Or | Op.Xor
+                      -> (
+                        match (operand 0, operand 1) with
+                        | Some a, Some b -> Some (apply2 node.Dfg.op a b)
+                        | _ -> None)))
+          in
+          match computed with
+          | Some v ->
+              Hashtbl.replace machine.out_val inst v;
+              progress := true
+          | None -> ())
+      (Arch.instances machine.arch)
+  done;
+  (* commit stores, then latch registers for the next cycle *)
+  List.iter
+    (fun (inst, addr, data) ->
+      let mem =
+        match Hashtbl.find_opt machine.memories inst with
+        | Some m -> m
+        | None ->
+            let m = Hashtbl.create 16 in
+            Hashtbl.replace machine.memories inst m;
+            m
+      in
+      Hashtbl.replace mem addr data)
+    !stores;
+  List.iter
+    (fun (inst, prim) ->
+      match (prim : Primitive.t) with
+      | Primitive.Register -> (
+          match driver_value machine { Arch.inst; port = "in" } with
+          | Some v -> Hashtbl.replace machine.latch inst v
+          | None -> Hashtbl.remove machine.latch inst)
+      | Primitive.Multiplexer _ | Primitive.Func_unit _ -> ())
+    (Arch.instances machine.arch)
+
+(* ---------------- top level ---------------- *)
+
+let has_loop_carried dfg =
+  (* a value that transitively feeds its own producer *)
+  let n = Dfg.node_count dfg in
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (e : Dfg.edge) -> reach.(e.Dfg.src).(e.Dfg.dst) <- true) (Dfg.edges dfg);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let cyclic = ref false in
+  for i = 0 to n - 1 do
+    if reach.(i).(i) then cyclic := true
+  done;
+  !cyclic
+
+let memory_aliasing dfg binding =
+  (* reject DFGs where a load may read a stored address: the reference
+     semantics would depend on intra-iteration timing *)
+  try
+    let values = eval_dfg dfg binding in
+    let addr_of q i =
+      List.find_opt (fun (e : Dfg.edge) -> e.Dfg.operand = i) (Dfg.in_edges dfg q)
+      |> Option.map (fun (e : Dfg.edge) -> List.assoc_opt e.Dfg.src values)
+      |> Option.join
+    in
+    let store_addrs =
+      List.filter_map
+        (fun (node : Dfg.node) ->
+          if node.Dfg.op = Op.Store then addr_of node.Dfg.id 0 else None)
+        (Dfg.nodes dfg)
+    in
+    List.exists
+      (fun (node : Dfg.node) ->
+        node.Dfg.op = Op.Load
+        && match addr_of node.Dfg.id 0 with
+           | Some a -> List.mem a store_addrs
+           | None -> false)
+      (Dfg.nodes dfg)
+  with Invalid_argument _ -> false
+
+let run ?cycles (m : Mapping.t) ~arch binding =
+  let dfg = m.Mapping.dfg and mrrg = m.Mapping.mrrg in
+  if has_loop_carried dfg then Error [ "loop-carried dependences do not reach a steady state" ]
+  else if
+    List.exists
+      (fun (node : Dfg.node) ->
+        (node.Dfg.op = Op.Input || node.Dfg.op = Op.Const)
+        && List.assoc_opt node.Dfg.id binding = None)
+      (Dfg.nodes dfg)
+  then Error [ "missing input/const binding" ]
+  else if memory_aliasing dfg binding then Error [ "load/store address aliasing unsupported" ]
+  else
+    match Configgen.generate m with
+    | Error errs -> Error errs
+    | Ok cfg ->
+        let ii = Mrrg.ii mrrg in
+        let machine =
+          {
+            arch;
+            ii;
+            out_val = Hashtbl.create 256;
+            latch = Hashtbl.create 64;
+            memories = Hashtbl.create 8;
+            mux_select = Hashtbl.create 64;
+            fu_op = Hashtbl.create 64;
+            dfg;
+            binding;
+            observed = Hashtbl.create 16;
+          }
+        in
+        List.iter
+          (fun (s : Configgen.mux_setting) ->
+            let inst, _ = parse_node_name (Mrrg.node mrrg s.Configgen.mux_node).Mrrg.name in
+            Hashtbl.replace machine.mux_select
+              (s.Configgen.context, inst)
+              s.Configgen.selected_input)
+          cfg.Configgen.muxes;
+        List.iter
+          (fun (q, p) ->
+            let inst, _ = parse_node_name (Mrrg.node mrrg p).Mrrg.name in
+            Hashtbl.replace machine.fu_op ((Mrrg.node mrrg p).Mrrg.ctx, inst) q)
+          m.Mapping.placement;
+        let cycles =
+          match cycles with
+          | Some c -> c
+          | None ->
+              (* the longest route crosses at most every register once *)
+              let regs = (Arch.summary arch).Arch.n_registers in
+              (2 * ii * (regs + 4)) + 8
+        in
+        for t = 0 to cycles - 1 do
+          step machine t
+        done;
+        let reference = reference_outputs dfg binding in
+        let outputs =
+          List.map
+            (fun (name, _) ->
+              (name, Option.value ~default:min_int (Hashtbl.find_opt machine.observed name)))
+            reference
+        in
+        let matches =
+          List.for_all2 (fun (_, a) (_, b) -> a = b) outputs reference
+        in
+        Ok { cycles; outputs; reference; matches }
+
+let default_binding dfg ~seed =
+  let rng = Rng.create ~seed in
+  List.filter_map
+    (fun (node : Dfg.node) ->
+      match node.Dfg.op with
+      | Op.Input | Op.Const -> Some (node.Dfg.id, Rng.int rng 1000)
+      | _ -> None)
+    (Dfg.nodes dfg)

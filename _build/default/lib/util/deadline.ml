@@ -1,0 +1,18 @@
+type t = Never | At of float
+
+(* Sys.time is CPU time; for a single-threaded solver on an unloaded
+   machine it tracks wall clock closely and avoids a unix dependency. *)
+let now () = Sys.time ()
+
+let none = Never
+let after ~seconds = At (now () +. seconds)
+
+let expired = function
+  | Never -> false
+  | At tend -> now () >= tend
+
+let remaining = function
+  | Never -> None
+  | At tend -> Some (Float.max 0. (tend -. now ()))
+
+let elapsed_of ~start = now () -. start

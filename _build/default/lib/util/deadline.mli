@@ -1,0 +1,26 @@
+(** Wall-clock time budgets for long-running solver calls.
+
+    A deadline is either infinite or an absolute instant; solvers poll
+    {!expired} at coarse granularity (e.g. every few thousand conflicts)
+    so the cost of time-limiting is negligible. *)
+
+type t
+
+val none : t
+(** The deadline that never expires. *)
+
+val after : seconds:float -> t
+(** [after ~seconds] expires [seconds] from now; non-positive values
+    expire immediately. *)
+
+val expired : t -> bool
+(** Has the deadline passed? *)
+
+val remaining : t -> float option
+(** Seconds left, or [None] for {!none}.  Never negative. *)
+
+val elapsed_of : start:float -> float
+(** Seconds elapsed since [start] (a {!now} value). *)
+
+val now : unit -> float
+(** Monotonic-ish wall clock in seconds ([Unix]-free). *)

@@ -1,0 +1,10 @@
+let src = Logs.Src.create "cgra" ~doc:"CGRA ILP mapping framework"
+
+let installed = ref false
+
+let setup ?(level = Logs.Warning) () =
+  if not !installed then begin
+    installed := true;
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some level)
+  end

@@ -1,0 +1,7 @@
+(** Shared [Logs] configuration for executables. *)
+
+val src : Logs.src
+(** The library-wide log source ("cgra"). *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a [Fmt]-based reporter on stderr.  Idempotent. *)

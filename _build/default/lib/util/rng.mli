@@ -1,0 +1,44 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All stochastic components of the library (random DFG generation, the
+    simulated-annealing mapper, property-test fixtures) draw from this
+    generator so that every run is reproducible from a single integer
+    seed.  The implementation is SplitMix64, which is adequate for
+    simulation purposes and has no global state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator from a 64-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive; requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t arr] picks a uniform element; [arr] must be non-empty. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Like {!choose} on a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

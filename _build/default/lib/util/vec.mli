@@ -1,0 +1,19 @@
+(** Polymorphic growable array (companion to {!Veci}). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity; it is never observable. *)
+
+val size : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order. *)

@@ -1,0 +1,1 @@
+scratch/anneal_test.ml: Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Cgra_util Printf

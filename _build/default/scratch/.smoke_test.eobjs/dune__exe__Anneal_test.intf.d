@@ -1,0 +1,1 @@
+scratch/anneal_test.mli:

@@ -1,0 +1,1 @@
+scratch/smoke_test.ml: Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Cgra_util Format Option Printf Sys

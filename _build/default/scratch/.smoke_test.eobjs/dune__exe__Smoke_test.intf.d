@@ -1,0 +1,1 @@
+scratch/smoke_test.mli:

@@ -1,0 +1,22 @@
+module Lib = Cgra_arch.Library
+module A = Cgra_core.Anneal
+
+let () =
+  let diag = { Lib.default with Lib.topology = Lib.Diagonal } in
+  let arch = Lib.make diag in
+  let mrrg = Cgra_mrrg.Build.elaborate arch ~ii:1 in
+  let dfg = Cgra_dfg.Benchmarks.add_16 () in
+  let found = ref false in
+  let seed = ref 1 in
+  while not !found && !seed <= 12 do
+    let params = { A.moderate with A.seed = !seed;
+                   A.moves_per_temperature = 1200; A.cooling = 0.95 } in
+    (match A.map ~params ~deadline:(Cgra_util.Deadline.after ~seconds:45.) dfg mrrg with
+     | A.Mapped (m, _) ->
+         found := true;
+         Printf.printf "seed %d: MAPPED cost=%d\n%!" !seed (Cgra_core.Mapping.routing_cost m)
+     | A.Failed st ->
+         Printf.printf "seed %d: failed overuse=%d unrouted=%d\n%!" !seed
+           st.A.final_overuse st.A.unrouted);
+    incr seed
+  done

@@ -1,0 +1,24 @@
+module IM = Cgra_core.Ilp_mapper
+module Lib = Cgra_arch.Library
+let t name config ii secs =
+  let dfg = Option.get (Cgra_dfg.Benchmarks.by_name name) in
+  let mrrg = Cgra_mrrg.Build.elaborate (Lib.make config) ~ii in
+  let t0 = Sys.time () in
+  let r = IM.map ~warm_start:20. ~deadline:(Cgra_util.Deadline.after ~seconds:secs) dfg mrrg in
+  Printf.printf "%-12s %-16s ii=%d: %s (%.1fs)\n%!" name (Cgra_arch.Arch.name (Lib.make config)) ii
+    (Format.asprintf "%a" IM.pp_result r) (Sys.time () -. t0)
+let () =
+  let d = Lib.default in
+  let het = { d with Lib.fu_mix = Lib.Heterogeneous } in
+  let diag = { d with Lib.topology = Lib.Diagonal } in
+  (* discriminator set: expected (paper): 1,1,1,1 then 0,0,0, then 1, then 0, then 1 *)
+  t "2x2-f" het 1 90.;
+  t "accum" het 1 90.;
+  t "mac" het 1 90.;
+  t "add_10" het 1 90.;
+  t "tay_4" d 1 90.;
+  t "exp_4" d 1 90.;
+  t "add_14" d 1 90.;
+  t "mult_10" d 1 90.;
+  t "add_16" d 1 90.;
+  t "add_14" diag 1 90.

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Cgra_arch Cgra_dfg List Printf

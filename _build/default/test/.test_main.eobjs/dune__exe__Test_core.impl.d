@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cgra_arch Cgra_core Cgra_dfg Cgra_ilp Cgra_mrrg Cgra_util Hashtbl List Option Printf String

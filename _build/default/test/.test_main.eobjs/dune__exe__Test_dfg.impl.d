@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Cgra_dfg Cgra_util Format List Option QCheck2 QCheck_alcotest String

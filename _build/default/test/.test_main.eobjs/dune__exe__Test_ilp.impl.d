@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Cgra_ilp Cgra_util List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cgra_arch Cgra_core Cgra_dfg Cgra_ilp Cgra_mrrg Cgra_satoca Cgra_util List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_arch Test_core Test_dfg Test_ilp Test_integration Test_mrrg Test_sat Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_mrrg.ml: Alcotest Array Cgra_arch Cgra_dfg Cgra_mrrg List Printf String

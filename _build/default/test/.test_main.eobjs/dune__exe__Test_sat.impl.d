@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Cgra_satoca Cgra_util Fun Hashtbl List Printf QCheck2 QCheck_alcotest

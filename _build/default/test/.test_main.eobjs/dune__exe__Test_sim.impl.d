@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cgra_arch Cgra_core Cgra_dfg Cgra_mrrg Cgra_sim Cgra_util List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,238 @@
+module Arch = Cgra_arch.Arch
+module Primitive = Cgra_arch.Primitive
+module Library = Cgra_arch.Library
+module Adl = Cgra_arch.Adl
+module Op = Cgra_dfg.Op
+
+let ep inst port = { Arch.inst; port }
+
+let tiny_arch () =
+  let b = Arch.Builder.create ~name:"tiny" () in
+  Arch.Builder.add b "m" (Primitive.Multiplexer 2);
+  Arch.Builder.add b "f" (Primitive.alu ());
+  Arch.Builder.add b "r" Primitive.Register;
+  Arch.Builder.connect b ~src:(ep "m" "out") ~dst:(ep "f" "in0");
+  Arch.Builder.connect b ~src:(ep "m" "out") ~dst:(ep "f" "in1");
+  Arch.Builder.connect b ~src:(ep "f" "out") ~dst:(ep "r" "in");
+  Arch.Builder.connect b ~src:(ep "r" "out") ~dst:(ep "m" "in0");
+  Arch.Builder.freeze b
+
+(* ---------------- primitives ---------------- *)
+
+let test_primitive_ports () =
+  Alcotest.(check (list string)) "mux ports" [ "in0"; "in1"; "in2" ]
+    (Primitive.input_port_names (Primitive.Multiplexer 3));
+  Alcotest.(check (list string)) "reg in" [ "in" ] (Primitive.input_port_names Primitive.Register);
+  Alcotest.(check (list string)) "alu ins" [ "in0"; "in1" ]
+    (Primitive.input_port_names (Primitive.alu ()));
+  Alcotest.(check (list string)) "out" [ "out" ] (Primitive.output_port_names Primitive.Register)
+
+let test_primitive_supports () =
+  Alcotest.(check bool) "alu adds" true (Primitive.supports (Primitive.alu ()) Op.Add);
+  Alcotest.(check bool) "alu muls" true (Primitive.supports (Primitive.alu ()) Op.Mul);
+  Alcotest.(check bool) "alu-no-mul" false
+    (Primitive.supports (Primitive.alu ~with_mul:false ()) Op.Mul);
+  Alcotest.(check bool) "alu no load" false (Primitive.supports (Primitive.alu ()) Op.Load);
+  Alcotest.(check bool) "mem loads" true (Primitive.supports Primitive.mem_port Op.Load);
+  Alcotest.(check bool) "io inputs" true (Primitive.supports Primitive.io_pad Op.Input);
+  Alcotest.(check bool) "mux routes" false (Primitive.supports (Primitive.Multiplexer 2) Op.Add)
+
+(* ---------------- builder / validation ---------------- *)
+
+let test_arch_basics () =
+  let a = tiny_arch () in
+  Alcotest.(check int) "instances" 3 (Arch.n_instances a);
+  Alcotest.(check bool) "validates" true (Arch.validate a = Ok ());
+  Alcotest.(check bool) "find" true (Arch.find a "f" <> None);
+  Alcotest.(check bool) "driver of f.in0" true
+    (Arch.driver a (ep "f" "in0") = Some (ep "m" "out"));
+  Alcotest.(check int) "mux fanout" 2 (List.length (Arch.fanout a (ep "m" "out")))
+
+let test_arch_rejects_bad () =
+  let bad mk =
+    try
+      ignore (mk ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "duplicate inst" true
+    (bad (fun () ->
+         let b = Arch.Builder.create () in
+         Arch.Builder.add b "x" Primitive.Register;
+         Arch.Builder.add b "x" Primitive.Register));
+  Alcotest.(check bool) "unknown instance" true
+    (bad (fun () ->
+         let b = Arch.Builder.create () in
+         Arch.Builder.add b "r" Primitive.Register;
+         Arch.Builder.connect b ~src:(ep "nope" "out") ~dst:(ep "r" "in");
+         Arch.Builder.freeze b));
+  Alcotest.(check bool) "input as source" true
+    (bad (fun () ->
+         let b = Arch.Builder.create () in
+         Arch.Builder.add b "r" Primitive.Register;
+         Arch.Builder.add b "r2" Primitive.Register;
+         Arch.Builder.connect b ~src:(ep "r" "in") ~dst:(ep "r2" "in");
+         Arch.Builder.freeze b));
+  Alcotest.(check bool) "double driven" true
+    (bad (fun () ->
+         let b = Arch.Builder.create () in
+         Arch.Builder.add b "r" Primitive.Register;
+         Arch.Builder.add b "a" Primitive.Register;
+         Arch.Builder.add b "c" Primitive.Register;
+         Arch.Builder.connect b ~src:(ep "a" "out") ~dst:(ep "r" "in");
+         Arch.Builder.connect b ~src:(ep "c" "out") ~dst:(ep "r" "in");
+         Arch.Builder.freeze b))
+
+(* ---------------- library ---------------- *)
+
+let test_library_sizes () =
+  let a = Library.make Library.default in
+  let s = Arch.summary a in
+  (* 16 block FUs + 4 memory ports + 16 I/O pads *)
+  Alcotest.(check int) "func units" 36 s.Arch.n_func_units;
+  (* 4 muxes per block (a, b, bypass, reg select) + 8 memory muxes
+     + 16 I/O pad input selectors *)
+  Alcotest.(check int) "muxes" 88 s.Arch.n_muxes;
+  Alcotest.(check int) "registers" 16 s.Arch.n_registers;
+  Alcotest.(check bool) "validates" true (Arch.validate a = Ok ())
+
+let test_library_heterogeneous () =
+  let config = { Library.default with Library.fu_mix = Library.Heterogeneous } in
+  let a = Library.make config in
+  let muls = ref 0 in
+  for row = 0 to 3 do
+    for col = 0 to 3 do
+      match Arch.find a (Library.block_fu ~row ~col) with
+      | Some prim -> if Primitive.supports prim Op.Mul then incr muls
+      | None -> Alcotest.failf "missing fu at %d,%d" row col
+    done
+  done;
+  Alcotest.(check int) "half the ALUs multiply" 8 !muls
+
+let test_library_diagonal_wider_muxes () =
+  let orth = Library.make Library.default in
+  let diag = Library.make { Library.default with Library.topology = Library.Diagonal } in
+  let mux_size a nm =
+    match Arch.find a nm with
+    | Some (Primitive.Multiplexer n) -> n
+    | _ -> Alcotest.failf "no mux %s" nm
+  in
+  (* interior block: orth 4 neighbours vs diag 8, plus the memory-port
+     output, the register feedback, and the 4 bus pads covering the
+     block's row and column *)
+  let interior = "b1_1_mux_a" in
+  Alcotest.(check int) "orth interior mux" 10 (mux_size orth interior);
+  Alcotest.(check int) "diag interior mux" 14 (mux_size diag interior)
+
+let test_library_io_pad_count () =
+  let a = Library.make Library.default in
+  let pads =
+    List.filter
+      (fun (_, p) ->
+        match (p : Primitive.t) with
+        | Primitive.Func_unit { supported; _ } -> List.mem Op.Input supported
+        | _ -> false)
+      (Arch.instances a)
+  in
+  Alcotest.(check int) "16 io pads on a 4x4" 16 (List.length pads)
+
+let test_library_small_grids () =
+  List.iter
+    (fun (rows, cols) ->
+      let a = Library.make { Library.default with Library.rows; cols } in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d validates" rows cols)
+        true
+        (Arch.validate a = Ok ()))
+    [ (1, 1); (1, 2); (2, 2); (2, 3); (3, 3) ]
+
+let test_paper_configs () =
+  let configs = Library.paper_configs ~size:4 in
+  Alcotest.(check int) "four architectures" 4 (List.length configs);
+  Alcotest.(check bool) "lookup" true (Library.find_config ~size:4 "homo-diag" <> None);
+  Alcotest.(check bool) "unknown" true (Library.find_config ~size:4 "nope" = None)
+
+(* ---------------- ADL ---------------- *)
+
+let test_adl_roundtrip_tiny () =
+  let a = tiny_arch () in
+  match Adl.of_string (Adl.to_string a) with
+  | Error e -> Alcotest.fail e
+  | Ok a' ->
+      Alcotest.(check int) "instances" (Arch.n_instances a) (Arch.n_instances a');
+      Alcotest.(check int) "connections"
+        (List.length (Arch.connections a))
+        (List.length (Arch.connections a'));
+      Alcotest.(check string) "name" (Arch.name a) (Arch.name a')
+
+let test_adl_roundtrip_paper_arch () =
+  let a = Library.make { Library.default with Library.rows = 2; cols = 2 } in
+  match Adl.of_string (Adl.to_string a) with
+  | Error e -> Alcotest.fail e
+  | Ok a' ->
+      Alcotest.(check int) "instances" (Arch.n_instances a) (Arch.n_instances a');
+      Alcotest.(check int) "connections"
+        (List.length (Arch.connections a))
+        (List.length (Arch.connections a'));
+      (* primitives survive *)
+      List.iter
+        (fun (nm, prim) ->
+          match Arch.find a' nm with
+          | None -> Alcotest.failf "lost instance %s" nm
+          | Some prim' ->
+              Alcotest.(check string) ("prim " ^ nm) (Primitive.describe prim)
+                (Primitive.describe prim'))
+        (Arch.instances a)
+
+let test_adl_comments () =
+  let text =
+    "; header comment\n(arch a ; inline\n  (inst x reg) ; trailing\n  (inst y reg)\n  (wire x.out y.in))\n"
+  in
+  match Adl.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      Alcotest.(check int) "two instances" 2 (Arch.n_instances a);
+      Alcotest.(check int) "one wire" 1 (List.length (Arch.connections a))
+
+let test_adl_errors () =
+  let check_err s text =
+    match Adl.of_string text with
+    | Ok _ -> Alcotest.failf "%s: expected failure" s
+    | Error _ -> ()
+  in
+  check_err "garbage" "hello";
+  check_err "unbalanced" "(arch a (inst x reg)";
+  check_err "bad primitive" "(arch a (inst x (frob 3)))";
+  check_err "bad op" "(arch a (inst x (fu (ops zorp))))";
+  check_err "bad endpoint" "(arch a (inst x reg) (wire x xout))";
+  check_err "dangling wire" "(arch a (inst x reg) (wire y.out x.in))"
+
+let suites =
+  [
+    ( "arch:primitive",
+      [
+        Alcotest.test_case "ports" `Quick test_primitive_ports;
+        Alcotest.test_case "supports" `Quick test_primitive_supports;
+      ] );
+    ( "arch:netlist",
+      [
+        Alcotest.test_case "basics" `Quick test_arch_basics;
+        Alcotest.test_case "rejects bad" `Quick test_arch_rejects_bad;
+      ] );
+    ( "arch:library",
+      [
+        Alcotest.test_case "4x4 sizes" `Quick test_library_sizes;
+        Alcotest.test_case "heterogeneous mix" `Quick test_library_heterogeneous;
+        Alcotest.test_case "diagonal muxes" `Quick test_library_diagonal_wider_muxes;
+        Alcotest.test_case "io pads" `Quick test_library_io_pad_count;
+        Alcotest.test_case "small grids" `Quick test_library_small_grids;
+        Alcotest.test_case "paper configs" `Quick test_paper_configs;
+      ] );
+    ( "arch:adl",
+      [
+        Alcotest.test_case "roundtrip tiny" `Quick test_adl_roundtrip_tiny;
+        Alcotest.test_case "roundtrip 2x2" `Quick test_adl_roundtrip_paper_arch;
+        Alcotest.test_case "comments" `Quick test_adl_comments;
+        Alcotest.test_case "parse errors" `Quick test_adl_errors;
+      ] );
+  ]

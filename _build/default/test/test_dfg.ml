@@ -1,0 +1,277 @@
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Benchmarks = Cgra_dfg.Benchmarks
+module Generator = Cgra_dfg.Generator
+module Rng = Cgra_util.Rng
+
+let stats_testable =
+  let pp fmt (s : Dfg.stats) =
+    Format.fprintf fmt "{ios=%d; ops=%d; muls=%d}" s.ios s.operations s.multiplies
+  in
+  Alcotest.testable pp ( = )
+
+(* ---------------- Op ---------------- *)
+
+let test_op_roundtrip () =
+  List.iter
+    (fun op ->
+      match Op.of_string (Op.to_string op) with
+      | Some op' -> Alcotest.(check bool) "roundtrip" true (Op.equal op op')
+      | None -> Alcotest.failf "of_string failed for %s" (Op.to_string op))
+    Op.all
+
+let test_op_classification () =
+  Alcotest.(check int) "input arity" 0 (Op.arity Op.Input);
+  Alcotest.(check int) "load arity" 1 (Op.arity Op.Load);
+  Alcotest.(check int) "store arity" 2 (Op.arity Op.Store);
+  Alcotest.(check bool) "store produces no value" false (Op.produces_value Op.Store);
+  Alcotest.(check bool) "output produces no value" false (Op.produces_value Op.Output);
+  Alcotest.(check bool) "add commutative" true (Op.commutative Op.Add);
+  Alcotest.(check bool) "sub not commutative" false (Op.commutative Op.Sub);
+  Alcotest.(check bool) "mul is mul" true (Op.is_mul Op.Mul);
+  Alcotest.(check bool) "load is mem" true (Op.is_mem Op.Load);
+  Alcotest.(check bool) "input is io" true (Op.is_io Op.Input)
+
+let test_op_unknown () =
+  Alcotest.(check bool) "unknown op" true (Op.of_string "frobnicate" = None)
+
+(* ---------------- Builder ---------------- *)
+
+let tiny () =
+  let b = Dfg.Builder.create ~name:"tiny" () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let y = Dfg.Builder.add b Op.Input "y" in
+  let s = Dfg.Builder.add b Op.Add "s" in
+  Dfg.Builder.connect b ~src:x ~dst:s ~operand:0;
+  Dfg.Builder.connect b ~src:y ~dst:s ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:s ~dst:o ~operand:0;
+  Dfg.Builder.freeze b
+
+let test_builder_basic () =
+  let g = tiny () in
+  Alcotest.(check int) "nodes" 4 (Dfg.node_count g);
+  Alcotest.(check int) "edges" 3 (Dfg.edge_count g);
+  Alcotest.(check bool) "validates" true (Dfg.validate g = Ok ());
+  let s = Option.get (Dfg.find g "s") in
+  Alcotest.(check int) "s has 2 in-edges" 2 (List.length (Dfg.in_edges g s.id));
+  Alcotest.(check int) "s has 1 out-edge" 1 (List.length (Dfg.out_edges g s.id))
+
+let test_builder_duplicate_name () =
+  let b = Dfg.Builder.create () in
+  let _ = Dfg.Builder.add b Op.Input "x" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Dfg.Builder.add: duplicate node name \"x\"") (fun () ->
+      ignore (Dfg.Builder.add b Op.Input "x"))
+
+let test_builder_double_feed () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:x ~dst:o ~operand:0;
+  Alcotest.(check bool) "double feed rejected" true
+    (try
+       Dfg.Builder.connect b ~src:x ~dst:o ~operand:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_bad_operand () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Alcotest.(check bool) "operand out of range" true
+    (try
+       Dfg.Builder.connect b ~src:x ~dst:o ~operand:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_sink_as_source () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:x ~dst:o ~operand:0;
+  let o2 = Dfg.Builder.add b Op.Output "o2" in
+  Alcotest.(check bool) "output as producer rejected" true
+    (try
+       Dfg.Builder.connect b ~src:o ~dst:o2 ~operand:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_freeze_unfed_operand () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let s = Dfg.Builder.add b Op.Add "s" in
+  Dfg.Builder.connect b ~src:x ~dst:s ~operand:0;
+  (* operand 1 left unfed *)
+  Alcotest.(check bool) "freeze rejects unfed operand" true
+    (try
+       ignore (Dfg.Builder.freeze b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_self_loop_allowed () =
+  let g = Benchmarks.accum () in
+  let acc = Option.get (Dfg.find g "acc") in
+  let self = List.exists (fun (e : Dfg.edge) -> e.src = acc.id) (Dfg.in_edges g acc.id) in
+  Alcotest.(check bool) "accumulator self edge present" true self
+
+(* ---------------- Values ---------------- *)
+
+let test_values_and_subvalues () =
+  let g = tiny () in
+  let vals = Dfg.values g in
+  (* x, y and s each produce one consumed value *)
+  Alcotest.(check int) "3 values" 3 (List.length vals);
+  List.iter
+    (fun (v : Dfg.value) ->
+      Alcotest.(check bool) "at least one sink" true (List.length v.sinks >= 1))
+    vals
+
+let test_multi_fanout_value () =
+  let g = Benchmarks.extreme () in
+  let vals = Dfg.values g in
+  let multi = List.filter (fun (v : Dfg.value) -> List.length v.sinks > 1) vals in
+  Alcotest.(check bool) "extreme has multi-fanout values" true (List.length multi >= 4)
+
+(* ---------------- Table 1 ---------------- *)
+
+let test_table1_stats () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk () in
+      let expected = List.assoc name Benchmarks.expected_stats in
+      Alcotest.check stats_testable name expected (Dfg.stats g))
+    Benchmarks.all
+
+let test_all_benchmarks_validate () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk () in
+      match Dfg.validate g with
+      | Ok () -> ()
+      | Error errs -> Alcotest.failf "%s: %s" name (String.concat "; " errs))
+    Benchmarks.all
+
+let test_by_name () =
+  Alcotest.(check bool) "finds 2x2-f" true (Benchmarks.by_name "2x2-f" <> None);
+  Alcotest.(check bool) "unknown" true (Benchmarks.by_name "nonesuch" = None)
+
+(* ---------------- Text / dot ---------------- *)
+
+let test_text_roundtrip () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk () in
+      match Dfg.of_text (Dfg.to_text g) with
+      | Error m -> Alcotest.failf "%s: parse error %s" name m
+      | Ok g' ->
+          Alcotest.(check int) (name ^ " nodes") (Dfg.node_count g) (Dfg.node_count g');
+          Alcotest.(check int) (name ^ " edges") (Dfg.edge_count g) (Dfg.edge_count g');
+          Alcotest.check stats_testable (name ^ " stats") (Dfg.stats g) (Dfg.stats g'))
+    Benchmarks.all
+
+let test_text_errors () =
+  let check_err s text =
+    match Dfg.of_text text with
+    | Ok _ -> Alcotest.failf "%s: expected parse failure" s
+    | Error _ -> ()
+  in
+  check_err "bad op" "node a frobnicate\n";
+  check_err "unknown src" "node a input\nedge b a 0\n";
+  check_err "bad line" "nodes a input\n";
+  check_err "bad operand" "node a input\nnode b output\nedge a b zero\n"
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_dot_contains_nodes () =
+  let g = tiny () in
+  let dot = Dfg.to_dot g in
+  Alcotest.(check bool) "has digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "mentions add op" true (contains ~needle:"add" dot)
+
+(* ---------------- Property tests ---------------- *)
+
+let prop_generated_validates =
+  QCheck2.Test.make ~name:"generated DFGs validate" ~count:100
+    QCheck2.Gen.(
+      tup4 (int_range 1 6) (int_range 0 4) (int_range 1 20) (int_range 0 1000))
+    (fun (n_inputs, n_outputs, n_internal, seed) ->
+      let rng = Rng.create ~seed in
+      let cfg =
+        {
+          Generator.default with
+          n_inputs;
+          n_outputs;
+          n_internal;
+          mul_fraction = 0.4;
+          allow_self_loop = true;
+        }
+      in
+      let g = Generator.generate rng cfg in
+      Dfg.validate g = Ok ())
+
+let prop_generated_text_roundtrip =
+  QCheck2.Test.make ~name:"generated DFG text roundtrip" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let g = Generator.generate rng Generator.default in
+      match Dfg.of_text (Dfg.to_text g) with
+      | Ok g' -> Dfg.node_count g = Dfg.node_count g' && Dfg.edge_count g = Dfg.edge_count g'
+      | Error _ -> false)
+
+let prop_values_cover_consumed =
+  QCheck2.Test.make ~name:"values cover every edge" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let g = Generator.generate rng { Generator.default with n_internal = 12 } in
+      let from_values =
+        Dfg.values g |> List.concat_map (fun (v : Dfg.value) -> v.sinks) |> List.length
+      in
+      from_values = Dfg.edge_count g)
+
+let suites =
+  [
+    ( "dfg:op",
+      [
+        Alcotest.test_case "to/of_string roundtrip" `Quick test_op_roundtrip;
+        Alcotest.test_case "classification" `Quick test_op_classification;
+        Alcotest.test_case "unknown op name" `Quick test_op_unknown;
+      ] );
+    ( "dfg:builder",
+      [
+        Alcotest.test_case "basic build" `Quick test_builder_basic;
+        Alcotest.test_case "duplicate name" `Quick test_builder_duplicate_name;
+        Alcotest.test_case "double operand feed" `Quick test_builder_double_feed;
+        Alcotest.test_case "operand out of range" `Quick test_builder_bad_operand;
+        Alcotest.test_case "sink as source" `Quick test_builder_sink_as_source;
+        Alcotest.test_case "freeze catches unfed operand" `Quick test_freeze_unfed_operand;
+        Alcotest.test_case "self loop allowed" `Quick test_self_loop_allowed;
+      ] );
+    ( "dfg:values",
+      [
+        Alcotest.test_case "values and subvalues" `Quick test_values_and_subvalues;
+        Alcotest.test_case "multi fanout" `Quick test_multi_fanout_value;
+      ] );
+    ( "dfg:table1",
+      [
+        Alcotest.test_case "stats match Table 1" `Quick test_table1_stats;
+        Alcotest.test_case "all benchmarks validate" `Quick test_all_benchmarks_validate;
+        Alcotest.test_case "lookup by name" `Quick test_by_name;
+      ] );
+    ( "dfg:io",
+      [
+        Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_text_errors;
+        Alcotest.test_case "dot output" `Quick test_dot_contains_nodes;
+      ] );
+    ( "dfg:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_generated_validates; prop_generated_text_roundtrip; prop_values_cover_consumed ]
+    );
+  ]

@@ -1,0 +1,330 @@
+module Model = Cgra_ilp.Model
+module Solve = Cgra_ilp.Solve
+module Presolve = Cgra_ilp.Presolve
+module Lp_format = Cgra_ilp.Lp_format
+module Rng = Cgra_util.Rng
+
+(* ---------------- helpers ---------------- *)
+
+let assignment_of_array a v = a.(v)
+
+let check_feasible name model = function
+  | Solve.Optimal (a, obj) | Solve.Feasible (a, obj) ->
+      Alcotest.(check bool) (name ^ ": assignment feasible") true
+        (Model.feasible model (assignment_of_array a));
+      Alcotest.(check int)
+        (name ^ ": objective consistent")
+        obj
+        (Model.objective_value model (assignment_of_array a))
+  | Solve.Infeasible | Solve.Timeout -> ()
+
+(* ---------------- model basics ---------------- *)
+
+let test_model_basics () =
+  let m = Model.create ~name:"m" () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Alcotest.(check int) "nvars" 2 (Model.nvars m);
+  Alcotest.(check string) "name x" "x" (Model.var_name m x);
+  Alcotest.(check bool) "find" true (Model.find_var m "y" = Some y);
+  Model.add_row m [ (1, x); (1, y) ] Model.Le 1;
+  Model.add_row m ~name:"force" [ (1, x) ] Model.Ge 1;
+  Alcotest.(check int) "rows" 2 (Model.nrows m);
+  Model.set_objective m (Model.Minimize [ (1, y) ]);
+  Alcotest.(check bool) "feasible x=1,y=0" true
+    (Model.feasible m (fun v -> v = x));
+  Alcotest.(check bool) "infeasible x=0" false (Model.feasible m (fun _ -> false));
+  Alcotest.(check int) "objective" 0 (Model.objective_value m (fun v -> v = x))
+
+let test_model_merges_terms () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  Model.add_row m [ (1, x); (2, x); (-3, x) ] Model.Le 0;
+  (* all terms cancel: row is 0 <= 0, always satisfiable *)
+  match Model.rows m with
+  | [ row ] -> Alcotest.(check int) "terms merged away" 0 (List.length row.Model.terms)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_model_duplicate_var () =
+  let m = Model.create () in
+  ignore (Model.add_binary m "x");
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Model.add_binary m "x");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- known tiny models ---------------- *)
+
+(* min x+y+z  s.t. x+y >= 1, y+z >= 1, x+z >= 1  -> optimum 2 *)
+let vertex_cover_triangle () =
+  let m = Model.create ~name:"triangle" () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m [ (1, x); (1, y) ] Model.Ge 1;
+  Model.add_row m [ (1, y); (1, z) ] Model.Ge 1;
+  Model.add_row m [ (1, x); (1, z) ] Model.Ge 1;
+  Model.set_objective m (Model.Minimize [ (1, x); (1, y); (1, z) ]);
+  m
+
+let test_triangle_all_engines () =
+  let m = vertex_cover_triangle () in
+  List.iter
+    (fun engine ->
+      match Solve.solve ~engine m with
+      | Solve.Optimal (a, 2) ->
+          Alcotest.(check bool) "feasible" true (Model.feasible m (assignment_of_array a))
+      | o -> Alcotest.failf "expected optimum 2, got %a" Solve.pp_outcome o)
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+let test_infeasible_model () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Model.add_row m [ (1, x); (1, y) ] Model.Ge 2;
+  Model.add_row m [ (1, x); (1, y) ] Model.Le 1;
+  List.iter
+    (fun engine ->
+      Alcotest.(check bool) "infeasible" true (Solve.solve ~engine m = Solve.Infeasible))
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+let test_negative_coefficients () =
+  (* min -x - 2y  s.t. x + y <= 1  -> optimum -2 at y=1 *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Model.add_row m [ (1, x); (1, y) ] Model.Le 1;
+  Model.set_objective m (Model.Minimize [ (-1, x); (-2, y) ]);
+  List.iter
+    (fun engine ->
+      match Solve.solve ~engine m with
+      | Solve.Optimal (a, -2) -> Alcotest.(check bool) "y chosen" true a.(y)
+      | o -> Alcotest.failf "expected -2, got %a" Solve.pp_outcome o)
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+let test_equality_rows () =
+  (* x + y + z = 2, min x -> 0 with y=z=1 *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m [ (1, x); (1, y); (1, z) ] Model.Eq 2;
+  Model.set_objective m (Model.Minimize [ (1, x) ]);
+  List.iter
+    (fun engine ->
+      match Solve.solve ~engine m with
+      | Solve.Optimal (a, 0) ->
+          Alcotest.(check bool) "y and z" true (a.(y) && a.(z) && not a.(x))
+      | o -> Alcotest.failf "expected 0, got %a" Solve.pp_outcome o)
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+let test_feasibility_objective () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  Model.add_row m [ (1, x) ] Model.Ge 1;
+  (match Solve.solve m with
+  | Solve.Optimal (a, 0) -> Alcotest.(check bool) "x true" true a.(x)
+  | o -> Alcotest.failf "unexpected %a" Solve.pp_outcome o);
+  Alcotest.(check bool) "report timing" true
+    ((Solve.solve_report m).Solve.solve_seconds >= 0.0)
+
+let test_weighted_coefficients () =
+  (* 3x + 2y + z <= 3, maximise coverage => min -(3x+2y+z) *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m [ (3, x); (2, y); (1, z) ] Model.Le 3;
+  Model.set_objective m (Model.Minimize [ (-3, x); (-2, y); (-1, z) ]);
+  List.iter
+    (fun engine ->
+      match Solve.solve ~engine m with
+      | Solve.Optimal (_, -3) -> ()
+      | o -> Alcotest.failf "expected -3, got %a" Solve.pp_outcome o)
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+(* ---------------- presolve ---------------- *)
+
+let test_presolve_fixes_singletons () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m [ (1, x) ] Model.Ge 1;
+  Model.add_row m [ (1, y) ] Model.Le 0;
+  Model.add_row m [ (1, x); (1, y); (1, z) ] Model.Le 2;
+  let p = Presolve.run m in
+  Alcotest.(check bool) "not infeasible" false p.Presolve.infeasible;
+  Alcotest.(check bool) "x fixed true" true (List.mem (x, true) p.Presolve.fixed);
+  Alcotest.(check bool) "y fixed false" true (List.mem (y, false) p.Presolve.fixed);
+  (* remaining model over z only, and the <= row became slack -> dropped *)
+  Alcotest.(check int) "one var left" 1 (Model.nvars p.Presolve.reduced);
+  Alcotest.(check int) "no rows left" 0 (Model.nrows p.Presolve.reduced)
+
+let test_presolve_detects_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  Model.add_row m [ (1, x) ] Model.Ge 1;
+  Model.add_row m [ (1, x) ] Model.Le 0;
+  let p = Presolve.run m in
+  Alcotest.(check bool) "infeasible" true p.Presolve.infeasible
+
+let test_presolve_cascade () =
+  (* x=1 forces y=0 (x+y<=1) forces z=1 (y+z>=1) *)
+  let m = Model.create () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m [ (1, x) ] Model.Ge 1;
+  Model.add_row m [ (1, x); (1, y) ] Model.Le 1;
+  Model.add_row m [ (1, y); (1, z) ] Model.Ge 1;
+  let p = Presolve.run m in
+  Alcotest.(check int) "all fixed" 3 (Presolve.n_fixed p);
+  Alcotest.(check bool) "z fixed true" true (List.mem (z, true) p.Presolve.fixed)
+
+(* ---------------- LP format ---------------- *)
+
+let test_lp_roundtrip () =
+  let m = vertex_cover_triangle () in
+  let text = Lp_format.to_string m in
+  match Lp_format.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      Alcotest.(check int) "nvars" (Model.nvars m) (Model.nvars m');
+      Alcotest.(check int) "nrows" (Model.nrows m) (Model.nrows m');
+      (match Solve.solve m' with
+      | Solve.Optimal (_, 2) -> ()
+      | o -> Alcotest.failf "reparsed model solves differently: %a" Solve.pp_outcome o)
+
+let test_lp_format_content () =
+  let m = Model.create ~name:"fmt" () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "yy" in
+  Model.add_row m ~name:"r1" [ (2, x); (-1, y) ] Model.Le 1;
+  Model.set_objective m (Model.Minimize [ (1, x) ]);
+  let text = Lp_format.to_string m in
+  let has needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "Minimize" true (has "Minimize");
+  Alcotest.(check bool) "Subject To" true (has "Subject To");
+  Alcotest.(check bool) "Binary" true (has "Binary");
+  Alcotest.(check bool) "row" true (has "r1: 2 x - 1 yy <= 1");
+  Alcotest.(check bool) "End" true (has "End")
+
+(* ---------------- random cross-checks ---------------- *)
+
+let random_model rng =
+  let n = 2 + Rng.int rng 8 in
+  let m = Model.create ~name:"random" () in
+  let vars = Array.init n (fun i -> Model.add_binary m (Printf.sprintf "v%d" i)) in
+  let nrows = Rng.int rng 10 in
+  for _ = 1 to nrows do
+    let width = 1 + Rng.int rng 4 in
+    let terms =
+      List.init width (fun _ -> (Rng.int_in rng (-3) 3, Rng.choose rng vars))
+    in
+    let sense = Rng.choose rng [| Model.Le; Model.Ge; Model.Eq |] in
+    let rhs = Rng.int_in rng (-3) 4 in
+    Model.add_row m terms sense rhs
+  done;
+  if Rng.bool rng then begin
+    let terms = List.init n (fun i -> (Rng.int_in rng (-2) 3, vars.(i))) in
+    Model.set_objective m (Model.Minimize terms)
+  end;
+  m
+
+let outcome_matches m a b =
+  match (a, b) with
+  | Solve.Infeasible, Solve.Infeasible -> true
+  | Solve.Optimal (xa, oa), Solve.Optimal (xb, ob) ->
+      oa = ob
+      && Model.feasible m (assignment_of_array xa)
+      && Model.feasible m (assignment_of_array xb)
+  | _ -> false
+
+let prop_sat_engine_matches_brute =
+  QCheck2.Test.make ~name:"sat engine matches brute force" ~count:250
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = random_model rng in
+      outcome_matches m (Solve.solve ~engine:Solve.Sat_backed m)
+        (Solve.solve ~engine:Solve.Brute_force m))
+
+let prop_bnb_engine_matches_brute =
+  QCheck2.Test.make ~name:"b&b engine matches brute force" ~count:250
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = random_model rng in
+      outcome_matches m (Solve.solve ~engine:Solve.Branch_and_bound m)
+        (Solve.solve ~engine:Solve.Brute_force m))
+
+let prop_presolve_preserves_outcome =
+  QCheck2.Test.make ~name:"presolve preserves optimum" ~count:250
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = random_model rng in
+      let with_p = Solve.solve ~engine:Solve.Sat_backed ~presolve:true m in
+      let without_p = Solve.solve ~engine:Solve.Sat_backed ~presolve:false m in
+      outcome_matches m with_p without_p
+      || (with_p = Solve.Infeasible && without_p = Solve.Infeasible))
+
+let prop_lp_roundtrip_random =
+  QCheck2.Test.make ~name:"LP roundtrip preserves solutions" ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let m = random_model rng in
+      match Lp_format.of_string (Lp_format.to_string m) with
+      | Error _ -> false
+      | Ok m' ->
+          let a = Solve.solve ~engine:Solve.Brute_force m in
+          let b = Solve.solve ~engine:Solve.Brute_force m' in
+          (match (a, b) with
+          | Solve.Infeasible, Solve.Infeasible -> true
+          | Solve.Optimal (_, oa), Solve.Optimal (_, ob) -> oa = ob
+          | _ -> false))
+
+let suites =
+  [
+    ( "ilp:model",
+      [
+        Alcotest.test_case "basics" `Quick test_model_basics;
+        Alcotest.test_case "merges terms" `Quick test_model_merges_terms;
+        Alcotest.test_case "duplicate var" `Quick test_model_duplicate_var;
+      ] );
+    ( "ilp:engines",
+      [
+        Alcotest.test_case "triangle cover" `Quick test_triangle_all_engines;
+        Alcotest.test_case "infeasible" `Quick test_infeasible_model;
+        Alcotest.test_case "negative coefficients" `Quick test_negative_coefficients;
+        Alcotest.test_case "equality rows" `Quick test_equality_rows;
+        Alcotest.test_case "feasibility objective" `Quick test_feasibility_objective;
+        Alcotest.test_case "weighted coefficients" `Quick test_weighted_coefficients;
+      ] );
+    ( "ilp:presolve",
+      [
+        Alcotest.test_case "fixes singletons" `Quick test_presolve_fixes_singletons;
+        Alcotest.test_case "detects infeasible" `Quick test_presolve_detects_infeasible;
+        Alcotest.test_case "cascade" `Quick test_presolve_cascade;
+      ] );
+    ( "ilp:lp_format",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_lp_roundtrip;
+        Alcotest.test_case "content" `Quick test_lp_format_content;
+      ] );
+    ( "ilp:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_sat_engine_matches_brute;
+          prop_bnb_engine_matches_brute;
+          prop_presolve_preserves_outcome;
+          prop_lp_roundtrip_random;
+        ] );
+  ]

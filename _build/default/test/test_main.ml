@@ -1,0 +1,5 @@
+(* Aggregates every test suite in this directory into one alcotest run. *)
+
+let () =
+  Alcotest.run "cgra_ilp_map"
+    (List.concat [ Test_util.suites; Test_dfg.suites; Test_sat.suites; Test_ilp.suites; Test_arch.suites; Test_mrrg.suites; Test_core.suites; Test_integration.suites; Test_sim.suites ])

@@ -1,0 +1,409 @@
+module Solver = Cgra_satoca.Solver
+module Lit = Cgra_satoca.Lit
+module Card = Cgra_satoca.Card
+module Dimacs = Cgra_satoca.Dimacs
+module Rng = Cgra_util.Rng
+
+(* ---------------- brute force reference ---------------- *)
+
+(* Evaluate a clause list under assignment bitmask m (bit v = var v). *)
+let eval_clauses nvars clauses m =
+  ignore nvars;
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          let v = Lit.var l in
+          let bit = (m lsr v) land 1 = 1 in
+          if Lit.sign l then bit else not bit)
+        clause)
+    clauses
+
+let brute_force_sat nvars clauses =
+  let rec go m = m < 1 lsl nvars && (eval_clauses nvars clauses m || go (m + 1)) in
+  go 0
+
+let solve_clauses nvars clauses =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  Solver.solve s
+
+(* ---------------- unit tests ---------------- *)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "v true" true (Solver.value s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Solver.add_clause s [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not ok" false (Solver.ok s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_no_clauses_sat () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 5);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_implication_chain () =
+  (* x0 -> x1 -> ... -> x9, x0 forced true: all true *)
+  let s = Solver.create () in
+  let n = 10 in
+  ignore (Solver.new_vars s n);
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Lit.neg i; Lit.pos (i + 1) ]
+  done;
+  Solver.add_clause s [ Lit.pos 0 ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "x%d true" i) true (Solver.value s i)
+  done
+
+let test_model_satisfies () =
+  (* A satisfiable 3-CNF; check the returned model satisfies it. *)
+  let clauses =
+    [
+      [ Lit.pos 0; Lit.pos 1; Lit.neg 2 ];
+      [ Lit.neg 0; Lit.pos 2; Lit.pos 3 ];
+      [ Lit.neg 1; Lit.neg 3; Lit.pos 4 ];
+      [ Lit.pos 2; Lit.neg 4; Lit.pos 5 ];
+      [ Lit.neg 5; Lit.pos 0 ];
+    ]
+  in
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 6);
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  List.iter
+    (fun clause ->
+      Alcotest.(check bool) "clause satisfied" true
+        (List.exists (fun l -> Solver.lit_value s l) clause))
+    clauses
+
+let pigeonhole pigeons holes =
+  (* var p*holes + h: pigeon p in hole h *)
+  let s = Solver.create () in
+  ignore (Solver.new_vars s (pigeons * holes));
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos ((p * holes) + h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 2 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg ((p1 * holes) + h); Lit.neg ((p2 * holes) + h) ]
+      done
+    done
+  done;
+  Solver.solve s
+
+let test_pigeonhole_unsat () =
+  Alcotest.(check bool) "php(4,3) unsat" true (pigeonhole 4 3 = Solver.Unsat);
+  Alcotest.(check bool) "php(6,5) unsat" true (pigeonhole 6 5 = Solver.Unsat)
+
+let test_pigeonhole_sat () =
+  Alcotest.(check bool) "php(4,4) sat" true (pigeonhole 4 4 = Solver.Sat)
+
+let test_incremental_clauses () =
+  (* solve, then add clauses ruling the model out, solve again *)
+  let s = Solver.create () in
+  let n = 4 in
+  ignore (Solver.new_vars s n);
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.(check bool) "first sat" true (Solver.solve s = Solver.Sat);
+  let rec exclude_and_count count =
+    if count > 20 then Alcotest.fail "too many models"
+    else begin
+      let blocking = List.init n (fun v -> Lit.make v (not (Solver.value s v))) in
+      Solver.add_clause s blocking;
+      match Solver.solve s with
+      | Solver.Sat -> exclude_and_count (count + 1)
+      | Solver.Unsat -> count
+      | Solver.Unknown -> Alcotest.fail "unexpected unknown"
+    end
+  in
+  (* 2^4 = 16 assignments, minus the 4 with x0=x1=0 -> 12 models; we
+     found one already so 11 more *)
+  Alcotest.(check int) "model count" 11 (exclude_and_count 0)
+
+let test_deadline_unknown () =
+  (* A hard instance with an immediate deadline must return Unknown. *)
+  let s = Solver.create () in
+  let pigeons = 9 and holes = 8 in
+  ignore (Solver.new_vars s (pigeons * holes));
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos ((p * holes) + h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 2 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg ((p1 * holes) + h); Lit.neg ((p2 * holes) + h) ]
+      done
+    done
+  done;
+  let d = Cgra_util.Deadline.after ~seconds:0.0 in
+  Alcotest.(check bool) "unknown on expired deadline" true (Solver.solve ~deadline:d s = Solver.Unknown)
+
+let test_stats_accumulate () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 12);
+  ignore (pigeonhole 4 3);
+  (* stats on a fresh solver that solved something non-trivial *)
+  let s2 = Solver.create () in
+  ignore (Solver.new_vars s2 12);
+  for p = 0 to 3 do
+    Solver.add_clause s2 (List.init 3 (fun h -> Lit.pos ((p * 3) + h)))
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 3 do
+        Solver.add_clause s2 [ Lit.neg ((p1 * 3) + h); Lit.neg ((p2 * 3) + h) ]
+      done
+    done
+  done;
+  ignore (Solver.solve s2);
+  let st = Solver.stats s2 in
+  Alcotest.(check bool) "conflicts counted" true (st.conflicts > 0);
+  ignore s
+
+(* ---------------- random CNF vs brute force ---------------- *)
+
+let random_cnf rng nvars nclauses width =
+  List.init nclauses (fun _ ->
+      let w = 1 + Rng.int rng width in
+      List.init w (fun _ -> Lit.make (Rng.int rng nvars) (Rng.bool rng)))
+
+let prop_agrees_with_brute_force =
+  QCheck2.Test.make ~name:"solver agrees with brute force" ~count:300
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let nvars = 1 + Rng.int rng 8 in
+      let nclauses = Rng.int rng 30 in
+      let clauses = random_cnf rng nvars nclauses 3 in
+      let expected = brute_force_sat nvars clauses in
+      match solve_clauses nvars clauses with
+      | Solver.Sat -> expected
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+let prop_sat_model_valid =
+  QCheck2.Test.make ~name:"returned models satisfy the formula" ~count:300
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let nvars = 1 + Rng.int rng 15 in
+      let nclauses = Rng.int rng 60 in
+      let clauses = random_cnf rng nvars nclauses 4 in
+      let s = Solver.create () in
+      ignore (Solver.new_vars s nvars);
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Unsat -> true
+      | Solver.Unknown -> false
+      | Solver.Sat ->
+          List.for_all (fun clause -> List.exists (fun l -> Solver.lit_value s l) clause) clauses)
+
+(* ---------------- cardinality encodings ---------------- *)
+
+let count_true s lits = List.length (List.filter (fun l -> Solver.lit_value s l) lits)
+
+(* Enumerate all models of [extra constraints + cardinality] by blocking
+   over the base variables, and compare against arithmetic truth. *)
+let check_card_encoding ~nbase ~constrain ~predicate =
+  let s = Solver.create () in
+  let base = List.init nbase (fun _ -> Lit.pos (Solver.new_var s)) in
+  constrain s base;
+  let seen = Hashtbl.create 64 in
+  let rec loop () =
+    match Solver.solve s with
+    | Solver.Unknown -> Alcotest.fail "unknown in cardinality check"
+    | Solver.Unsat -> ()
+    | Solver.Sat ->
+        let m = List.map (fun l -> Solver.lit_value s l) base in
+        Hashtbl.replace seen m ();
+        Solver.add_clause s
+          (List.map (fun l -> if Solver.lit_value s l then Lit.negate l else l) base);
+        loop ()
+  in
+  loop ();
+  (* every model found satisfies the predicate *)
+  Hashtbl.iter
+    (fun m () ->
+      let k = List.length (List.filter Fun.id m) in
+      Alcotest.(check bool) "model obeys bound" true (predicate k))
+    seen;
+  (* and the model count matches the full enumeration *)
+  let expected = ref 0 in
+  for mask = 0 to (1 lsl nbase) - 1 do
+    let k = ref 0 in
+    for b = 0 to nbase - 1 do
+      if (mask lsr b) land 1 = 1 then incr k
+    done;
+    if predicate !k then incr expected
+  done;
+  Alcotest.(check int) "model count" !expected (Hashtbl.length seen)
+
+let test_amo_pairwise () =
+  check_card_encoding ~nbase:5
+    ~constrain:(fun s base -> Card.at_most_one ~encoding:Card.Pairwise s base)
+    ~predicate:(fun k -> k <= 1)
+
+let test_amo_sequential () =
+  check_card_encoding ~nbase:7
+    ~constrain:(fun s base -> Card.at_most_one ~encoding:Card.Sequential s base)
+    ~predicate:(fun k -> k <= 1)
+
+let test_exactly_one () =
+  check_card_encoding ~nbase:6
+    ~constrain:(fun s base -> Card.exactly_one s base)
+    ~predicate:(fun k -> k = 1)
+
+let test_at_most_k () =
+  List.iter
+    (fun (n, k) ->
+      check_card_encoding ~nbase:n
+        ~constrain:(fun s base -> Card.at_most_k s base k)
+        ~predicate:(fun c -> c <= k))
+    [ (5, 0); (5, 2); (6, 3); (7, 1); (6, 5); (4, 4) ]
+
+let test_at_least_k () =
+  List.iter
+    (fun (n, k) ->
+      check_card_encoding ~nbase:n
+        ~constrain:(fun s base -> Card.at_least_k s base k)
+        ~predicate:(fun c -> c >= k))
+    [ (5, 0); (5, 2); (6, 3); (7, 6); (4, 4) ]
+
+let test_totalizer_bound () =
+  List.iter
+    (fun (n, k) ->
+      check_card_encoding ~nbase:n
+        ~constrain:(fun s base ->
+          let tot = Card.Totalizer.build s base in
+          Card.Totalizer.assert_at_most tot k)
+        ~predicate:(fun c -> c <= k))
+    [ (5, 0); (5, 2); (6, 3); (6, 1); (4, 4) ]
+
+let test_totalizer_tightening () =
+  (* strengthen the bound step by step on one solver *)
+  let s = Solver.create () in
+  let base = List.init 6 (fun _ -> Lit.pos (Solver.new_var s)) in
+  let tot = Card.Totalizer.build s base in
+  Card.at_least_k s base 3;
+  Card.Totalizer.assert_at_most tot 5;
+  Alcotest.(check bool) "k=5 sat" true (Solver.solve s = Solver.Sat);
+  Card.Totalizer.assert_at_most tot 4;
+  Alcotest.(check bool) "k=4 sat" true (Solver.solve s = Solver.Sat);
+  Card.Totalizer.assert_at_most tot 3;
+  Alcotest.(check bool) "k=3 sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check int) "exactly 3 true" 3 (count_true s base);
+  Card.Totalizer.assert_at_most tot 2;
+  Alcotest.(check bool) "k=2 unsat" true (Solver.solve s = Solver.Unsat)
+
+let prop_at_most_k_random =
+  QCheck2.Test.make ~name:"at_most_k never admits overflow" ~count:100
+    QCheck2.Gen.(tup2 (int_range 2 9) (int_range 0 60_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let k = Rng.int rng (n + 1) in
+      let s = Solver.create () in
+      let base = List.init n (fun _ -> Lit.pos (Solver.new_var s)) in
+      Card.at_most_k s base k;
+      (* random extra forcing clauses *)
+      for _ = 1 to Rng.int rng 5 do
+        let l = Rng.choose_list rng base in
+        Solver.add_clause s [ (if Rng.bool rng then l else Lit.negate l) ]
+      done;
+      match Solver.solve s with
+      | Solver.Sat -> count_true s base <= k
+      | Solver.Unsat -> true
+      | Solver.Unknown -> false)
+
+(* ---------------- DIMACS ---------------- *)
+
+let test_dimacs_roundtrip () =
+  let clauses =
+    [ [ Lit.pos 0; Lit.neg 1 ]; [ Lit.pos 2 ]; [ Lit.neg 0; Lit.pos 1; Lit.neg 2 ] ]
+  in
+  let text = Dimacs.print ~nvars:3 clauses in
+  match Dimacs.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok (nv, clauses') ->
+      Alcotest.(check int) "nvars" 3 nv;
+      Alcotest.(check bool) "clauses equal" true (clauses = clauses')
+
+let test_dimacs_load_solve () =
+  let text = "c a comment\np cnf 2 2\n1 2 0\n-1 2 0\n" in
+  let s = Solver.create () in
+  (match Dimacs.load s text with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x2 true" true (Solver.value s 1)
+
+let test_dimacs_errors () =
+  (match Dimacs.parse "p cnf x 1\n1 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected bad p-line");
+  (match Dimacs.parse "1 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unterminated clause");
+  match Dimacs.parse "1 foo 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected bad literal"
+
+let test_lit_encoding () =
+  Alcotest.(check int) "pos var" 3 (Lit.var (Lit.pos 3));
+  Alcotest.(check bool) "pos sign" true (Lit.sign (Lit.pos 3));
+  Alcotest.(check bool) "neg sign" false (Lit.sign (Lit.neg 3));
+  Alcotest.(check int) "negate involution" (Lit.pos 5) (Lit.negate (Lit.negate (Lit.pos 5)));
+  Alcotest.(check int) "dimacs pos" 4 (Lit.to_dimacs (Lit.pos 3));
+  Alcotest.(check int) "dimacs neg" (-4) (Lit.to_dimacs (Lit.neg 3));
+  Alcotest.(check int) "of_dimacs" (Lit.neg 0) (Lit.of_dimacs (-1))
+
+let suites =
+  [
+    ( "sat:basic",
+      [
+        Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+        Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+        Alcotest.test_case "empty clause" `Quick test_empty_clause;
+        Alcotest.test_case "no clauses" `Quick test_no_clauses_sat;
+        Alcotest.test_case "implication chain" `Quick test_implication_chain;
+        Alcotest.test_case "model satisfies" `Quick test_model_satisfies;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+        Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+        Alcotest.test_case "incremental clauses" `Quick test_incremental_clauses;
+        Alcotest.test_case "deadline" `Quick test_deadline_unknown;
+        Alcotest.test_case "stats" `Quick test_stats_accumulate;
+        Alcotest.test_case "lit encoding" `Quick test_lit_encoding;
+      ] );
+    ( "sat:card",
+      [
+        Alcotest.test_case "amo pairwise" `Quick test_amo_pairwise;
+        Alcotest.test_case "amo sequential" `Quick test_amo_sequential;
+        Alcotest.test_case "exactly one" `Quick test_exactly_one;
+        Alcotest.test_case "at most k" `Quick test_at_most_k;
+        Alcotest.test_case "at least k" `Quick test_at_least_k;
+        Alcotest.test_case "totalizer bound" `Quick test_totalizer_bound;
+        Alcotest.test_case "totalizer tightening" `Quick test_totalizer_tightening;
+      ] );
+    ( "sat:dimacs",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+        Alcotest.test_case "load+solve" `Quick test_dimacs_load_solve;
+        Alcotest.test_case "parse errors" `Quick test_dimacs_errors;
+      ] );
+    ( "sat:properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_agrees_with_brute_force; prop_sat_model_valid; prop_at_most_k_random ] );
+  ]

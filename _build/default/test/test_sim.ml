@@ -1,0 +1,195 @@
+(* Functional-simulation tests: mapped kernels must compute what the
+   DFG says, cycle by cycle on the architecture model. *)
+
+module Dfg = Cgra_dfg.Dfg
+module Op = Cgra_dfg.Op
+module Generator = Cgra_dfg.Generator
+module Benchmarks = Cgra_dfg.Benchmarks
+module Library = Cgra_arch.Library
+module Build = Cgra_mrrg.Build
+module IM = Cgra_core.Ilp_mapper
+module Simulator = Cgra_sim.Simulator
+module Rng = Cgra_util.Rng
+module Deadline = Cgra_util.Deadline
+
+let grid n = Library.make { Library.default with Library.rows = n; cols = n }
+
+let map_or_fail dfg arch ii =
+  let mrrg = Build.elaborate arch ~ii in
+  match IM.map ~deadline:(Deadline.after ~seconds:60.0) dfg mrrg with
+  | IM.Mapped (m, _) -> m
+  | r -> Alcotest.failf "mapping failed: %a" IM.pp_result r
+
+(* ---------------- reference evaluation ---------------- *)
+
+let test_eval_dfg_basic () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let y = Dfg.Builder.add b Op.Input "y" in
+  let s = Dfg.Builder.add b Op.Add "s" in
+  Dfg.Builder.connect b ~src:x ~dst:s ~operand:0;
+  Dfg.Builder.connect b ~src:y ~dst:s ~operand:1;
+  let m = Dfg.Builder.add b Op.Mul "m" in
+  Dfg.Builder.connect b ~src:s ~dst:m ~operand:0;
+  Dfg.Builder.connect b ~src:x ~dst:m ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:m ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  let values = Simulator.eval_dfg dfg [ (x, 7); (y, 5) ] in
+  Alcotest.(check int) "s = 12" 12 (List.assoc s values);
+  Alcotest.(check int) "m = 84" 84 (List.assoc m values)
+
+let test_eval_dfg_shift_semantics () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let k = Dfg.Builder.add b Op.Input "k" in
+  let sh = Dfg.Builder.add b Op.Shl "sh" in
+  Dfg.Builder.connect b ~src:x ~dst:sh ~operand:0;
+  Dfg.Builder.connect b ~src:k ~dst:sh ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:sh ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  let values = Simulator.eval_dfg dfg [ (x, 3); (k, 4) ] in
+  Alcotest.(check int) "3 << 4" 48 (List.assoc sh values);
+  (* 32-bit wrap *)
+  let values = Simulator.eval_dfg dfg [ (x, 0xFFFFFFFF); (k, 1) ] in
+  Alcotest.(check int) "32-bit mask" 0xFFFFFFFE (List.assoc sh values)
+
+let test_eval_dfg_rejects_loops () =
+  let dfg = Benchmarks.accum () in
+  Alcotest.(check bool) "loop-carried rejected" true
+    (try
+       ignore (Simulator.eval_dfg dfg (Simulator.default_binding dfg ~seed:1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- end-to-end simulation ---------------- *)
+
+let simulate_and_check ?(seed = 42) name dfg arch ii =
+  let m = map_or_fail dfg arch ii in
+  let binding = Simulator.default_binding dfg ~seed in
+  match Simulator.run m ~arch binding with
+  | Error errs -> Alcotest.failf "%s: simulation error: %s" name (String.concat "; " errs)
+  | Ok outcome ->
+      if not outcome.Simulator.matches then
+        Alcotest.failf "%s: outputs %s, expected %s" name
+          (String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) outcome.Simulator.outputs))
+          (String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) outcome.Simulator.reference))
+
+let test_simulate_tiny () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let y = Dfg.Builder.add b Op.Input "y" in
+  let s = Dfg.Builder.add b Op.Add "s" in
+  Dfg.Builder.connect b ~src:x ~dst:s ~operand:0;
+  Dfg.Builder.connect b ~src:y ~dst:s ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:s ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  simulate_and_check "tiny-add" dfg (grid 2) 1
+
+let test_simulate_noncommutative () =
+  (* operand order matters: sub and shl catch swapped-operand bugs *)
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let y = Dfg.Builder.add b Op.Input "y" in
+  let d = Dfg.Builder.add b Op.Sub "d" in
+  Dfg.Builder.connect b ~src:x ~dst:d ~operand:0;
+  Dfg.Builder.connect b ~src:y ~dst:d ~operand:1;
+  let sh = Dfg.Builder.add b Op.Shl "sh" in
+  Dfg.Builder.connect b ~src:d ~dst:sh ~operand:0;
+  Dfg.Builder.connect b ~src:y ~dst:sh ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:sh ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  simulate_and_check "sub-shl" dfg (grid 3) 1
+
+let test_simulate_benchmark_2x2f () =
+  simulate_and_check "2x2-f" (Benchmarks.conv_2x2_f ()) (grid 4) 1
+
+let test_simulate_multi_fanout () =
+  (* x feeds three consumers: the routing tree must deliver to all *)
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let a = Dfg.Builder.add b Op.Add "a" in
+  Dfg.Builder.connect b ~src:x ~dst:a ~operand:0;
+  Dfg.Builder.connect b ~src:x ~dst:a ~operand:1;
+  let m = Dfg.Builder.add b Op.Mul "m" in
+  Dfg.Builder.connect b ~src:a ~dst:m ~operand:0;
+  Dfg.Builder.connect b ~src:x ~dst:m ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:m ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  simulate_and_check "fanout3" dfg (grid 3) 1
+
+let test_simulate_dual_context () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add b Op.Input "x" in
+  let a1 = Dfg.Builder.add b Op.Add "a1" in
+  Dfg.Builder.connect b ~src:x ~dst:a1 ~operand:0;
+  Dfg.Builder.connect b ~src:x ~dst:a1 ~operand:1;
+  let a2 = Dfg.Builder.add b Op.Mul "a2" in
+  Dfg.Builder.connect b ~src:a1 ~dst:a2 ~operand:0;
+  Dfg.Builder.connect b ~src:a1 ~dst:a2 ~operand:1;
+  let o = Dfg.Builder.add b Op.Output "o" in
+  Dfg.Builder.connect b ~src:a2 ~dst:o ~operand:0;
+  let dfg = Dfg.Builder.freeze b in
+  simulate_and_check "dual-ctx" dfg (grid 2) 2
+
+let test_simulate_rejects_accumulator () =
+  let dfg = Benchmarks.accum () in
+  let arch = grid 4 in
+  let m = map_or_fail dfg arch 1 in
+  match Simulator.run m ~arch (Simulator.default_binding dfg ~seed:3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of loop-carried kernel"
+
+(* ---------------- property: random kernels compute correctly -------- *)
+
+let prop_random_kernels_compute =
+  QCheck2.Test.make ~name:"mapped kernels compute the DFG function" ~count:12
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let cfg =
+        {
+          Generator.default with
+          Generator.n_inputs = 1 + Rng.int rng 3;
+          n_outputs = 1 + Rng.int rng 2;
+          n_internal = 2 + Rng.int rng 4;
+          mul_fraction = 0.3;
+          allow_self_loop = false;
+        }
+      in
+      let dfg = Generator.generate rng cfg in
+      let arch = grid 3 in
+      let mrrg = Build.elaborate arch ~ii:1 in
+      match IM.map ~warm_start:0.0 ~deadline:(Deadline.after ~seconds:30.0) dfg mrrg with
+      | IM.Infeasible _ | IM.Timeout _ -> true (* nothing to simulate *)
+      | IM.Mapped (m, _) -> (
+          match Simulator.run m ~arch (Simulator.default_binding dfg ~seed) with
+          | Ok outcome -> outcome.Simulator.matches
+          | Error _ -> true (* e.g. loop-carried: out of scope *)))
+
+let suites =
+  [
+    ( "sim:reference",
+      [
+        Alcotest.test_case "basic evaluation" `Quick test_eval_dfg_basic;
+        Alcotest.test_case "shift semantics" `Quick test_eval_dfg_shift_semantics;
+        Alcotest.test_case "rejects loops" `Quick test_eval_dfg_rejects_loops;
+      ] );
+    ( "sim:execution",
+      [
+        Alcotest.test_case "tiny add" `Quick test_simulate_tiny;
+        Alcotest.test_case "non-commutative ops" `Quick test_simulate_noncommutative;
+        Alcotest.test_case "benchmark 2x2-f" `Slow test_simulate_benchmark_2x2f;
+        Alcotest.test_case "multi-fanout" `Quick test_simulate_multi_fanout;
+        Alcotest.test_case "dual context" `Quick test_simulate_dual_context;
+        Alcotest.test_case "rejects accumulator" `Slow test_simulate_rejects_accumulator;
+      ] );
+    ( "sim:properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_random_kernels_compute ] );
+  ]

@@ -1,0 +1,92 @@
+module Rng = Cgra_util.Rng
+module Veci = Cgra_util.Veci
+module Deadline = Cgra_util.Deadline
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10);
+    let y = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (y >= -5 && y <= 5);
+    let f = Rng.float r 2.0 in
+    Alcotest.(check bool) "in [0,2)" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_veci_push_pop () =
+  let v = Veci.create () in
+  for i = 0 to 99 do
+    Veci.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Veci.size v);
+  Alcotest.(check int) "last" 99 (Veci.last v);
+  Alcotest.(check int) "pop" 99 (Veci.pop v);
+  Alcotest.(check int) "size after pop" 99 (Veci.size v);
+  Veci.shrink v 10;
+  Alcotest.(check int) "after shrink" 10 (Veci.size v);
+  Alcotest.(check (list int)) "to_list" (List.init 10 (fun i -> i)) (Veci.to_list v)
+
+let test_veci_swap_remove () =
+  let v = Veci.of_list [ 10; 20; 30; 40 ] in
+  Veci.swap_remove v 1;
+  Alcotest.(check (list int)) "swapped" [ 10; 40; 30 ] (Veci.to_list v);
+  Veci.swap_remove v 2;
+  Alcotest.(check (list int)) "removed last" [ 10; 40 ] (Veci.to_list v)
+
+let test_veci_sort () =
+  let v = Veci.of_list [ 3; 1; 2 ] in
+  Veci.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Veci.to_list v)
+
+let test_deadline () =
+  Alcotest.(check bool) "none never expires" false (Cgra_util.Deadline.expired Deadline.none);
+  let d = Deadline.after ~seconds:(-1.0) in
+  Alcotest.(check bool) "past deadline expired" true (Deadline.expired d);
+  let d2 = Deadline.after ~seconds:3600.0 in
+  Alcotest.(check bool) "future deadline not expired" false (Deadline.expired d2);
+  match Deadline.remaining d2 with
+  | None -> Alcotest.fail "expected finite remaining"
+  | Some s -> Alcotest.(check bool) "remaining positive" true (s > 0.0)
+
+let suites =
+  [
+    ( "util",
+      [
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "veci push/pop" `Quick test_veci_push_pop;
+        Alcotest.test_case "veci swap_remove" `Quick test_veci_swap_remove;
+        Alcotest.test_case "veci sort" `Quick test_veci_sort;
+        Alcotest.test_case "deadline" `Quick test_deadline;
+      ] );
+  ]
