@@ -5,6 +5,7 @@
      table2            feasibility grid, ILP mapper (paper Table 2)
      fig8              SA mapper vs ILP mapper (paper Figure 8)
      sizes             formulation sizes per cell (diagnostics)
+     sweep             parallel sweep engine scaling (--jobs 1/2/4)
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -265,6 +266,38 @@ let run_ablation opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Sweep engine throughput: worker-count scaling                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_sweep_scaling opts =
+  Printf.printf "== Sweep scaling: wall clock vs worker count (limit %.0fs/job) ==\n" opts.limit;
+  let module Job = Cgra_sweep.Job in
+  let module Scheduler = Cgra_sweep.Scheduler in
+  let benchmarks =
+    match opts.benchmarks with [] -> [ "accum"; "mac"; "add_10"; "2x2-f" ] | bs -> bs
+  in
+  let jobs =
+    Job.paper_grid ~size:opts.size ~contexts:[ 1 ] ~limit:opts.limit ~benchmarks
+      ~archs:[ "homo-orth"; "homo-diag" ] ()
+  in
+  Printf.printf "%d jobs; host has %d cores\n%!" (List.length jobs)
+    (Domain.recommended_domain_count ());
+  let baseline = ref 0.0 in
+  List.iter
+    (fun n ->
+      let records, stats = Scheduler.run ~jobs:n jobs in
+      let undecided =
+        List.length (List.filter (fun r -> not (Cgra_sweep.Record.definitive r)) records)
+      in
+      if n = 1 then baseline := stats.Scheduler.wall_seconds;
+      Printf.printf "  --jobs %d: %6.1fs wall  (speedup %.2fx, %d undecided)\n%!" n
+        stats.Scheduler.wall_seconds
+        (!baseline /. stats.Scheduler.wall_seconds)
+        undecided)
+    [ 1; 2; 4 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,6 +379,7 @@ let () =
       | "fig8" -> run_fig8 opts
       | "sizes" -> run_sizes opts
       | "ablation" -> run_ablation opts
+      | "sweep" -> run_sweep_scaling opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

@@ -285,12 +285,94 @@ let lp_cmd =
          "Print the ILP formulation in CPLEX LP format (for inspection or an external solver).")
     Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ optimize_arg)
 
+(* ---------------- sweep ---------------- *)
+
+module Sweep_job = Cgra_sweep.Job
+module Sweep_store = Cgra_sweep.Store
+module Sweep_sched = Cgra_sweep.Scheduler
+module Sweep_grid = Cgra_sweep.Grid
+module Sweep_record = Cgra_sweep.Record
+
+let sweep_cmd =
+  let jobs_arg =
+    let doc = "Number of parallel workers (OCaml domains)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let portfolio_arg =
+    let doc =
+      "Race cold SAT, warm SAT and branch-and-bound per job; first definitive answer wins and \
+       cancels the losers."
+    in
+    Arg.(value & flag & info [ "portfolio" ] ~doc)
+  in
+  let resume_arg =
+    let doc = "Skip jobs already recorded in the output journal." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Append-only JSONL result journal." in
+    Arg.(value & opt string "results.jsonl" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let table_arg =
+    let doc = "Render the journal as the Table-2 feasibility grid after the sweep." in
+    Arg.(value & flag & info [ "table" ] ~doc)
+  in
+  let benchmarks_arg =
+    let doc = "Restrict to this benchmark (repeatable); default: all 19." in
+    Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let archs_arg =
+    let doc = "Restrict to this architecture (repeatable); default: all 4 structures." in
+    Arg.(value & opt_all string [] & info [ "a"; "arch" ] ~docv:"NAME" ~doc)
+  in
+  let contexts_list_arg =
+    let doc = "Context counts to sweep (repeatable); default: 1 and 2." in
+    Arg.(value & opt_all int [] & info [ "c"; "contexts" ] ~docv:"II" ~doc)
+  in
+  let run jobs portfolio resume out table benchmarks archs contexts limit size =
+    let contexts = if contexts = [] then [ 1; 2 ] else contexts in
+    let grid = Sweep_job.paper_grid ~size ~contexts ~limit ~benchmarks ~archs () in
+    let skip =
+      if not resume then fun _ -> false
+      else begin
+        let done_keys = Sweep_store.completed_keys (Sweep_store.load out) in
+        fun job -> Hashtbl.mem done_keys (Sweep_job.key job)
+      end
+    in
+    let store = Sweep_store.append_to out in
+    let on_event = function
+      | Sweep_sched.Job_started { index; total; worker; job } ->
+          Printf.eprintf "[%d/%d] w%d start  %s\n%!" (index + 1) total worker
+            (Sweep_job.to_string job)
+      | Sweep_sched.Job_finished { index; total; worker; record } ->
+          Sweep_store.append store record;
+          Printf.eprintf "[%d/%d] w%d %-10s %s (%s, %.2fs)\n%!" (index + 1) total worker
+            (Sweep_record.status_to_string record.Sweep_record.status)
+            (Sweep_job.to_string record.Sweep_record.job)
+            record.Sweep_record.engine record.Sweep_record.total_seconds
+    in
+    let _records, stats = Sweep_sched.run ~jobs ~portfolio ~skip ~on_event grid in
+    Sweep_store.close store;
+    Printf.eprintf "sweep: %d ran, %d skipped (resume), %.1fs wall, journal %s\n%!"
+      stats.Sweep_sched.ran stats.Sweep_sched.skipped stats.Sweep_sched.wall_seconds out;
+    if table then print_string (Sweep_grid.render (Sweep_store.load out))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the Table-2 feasibility grid (or a filtered subset) as a parallel sweep over \
+          OCaml domains, journaling every outcome to JSONL.  Re-running with $(b,--resume) \
+          skips recorded jobs; $(b,--portfolio) races engines per job.")
+    Term.(
+      const run $ jobs_arg $ portfolio_arg $ resume_arg $ out_arg $ table_arg $ benchmarks_arg
+      $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
+
 let main =
   let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in
   Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
     [
-      map_cmd; anneal_cmd; config_cmd; simulate_cmd; benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd;
-      dfg_dot_cmd; adl_cmd; lp_cmd;
+      map_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; benchmarks_cmd; archs_cmd;
+      mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

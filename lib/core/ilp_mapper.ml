@@ -7,6 +7,8 @@ type info = {
   build_seconds : float;
   objective_value : int option;
   proven_optimal : bool;
+  sat_calls : int;
+  presolve_fixed : int;
 }
 
 type result = Mapped of Mapping.t * info | Infeasible of info | Timeout of info
@@ -59,14 +61,21 @@ let apply_warm_phases (f : Formulation.t) (m : Mapping.t) =
               r.Mapping.nodes)
     m.Mapping.routes
 
-let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?prune ?(warm_start = 5.0)
-    dfg mrrg =
+let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
+    ?(warm_start = 5.0) dfg mrrg =
+  let attach d = match cancel with None -> d | Some f -> Deadline.with_cancellation d f in
+  let deadline = Option.map attach deadline in
+  let deadline =
+    match (deadline, cancel) with
+    | None, Some _ -> Some (attach Deadline.none)
+    | d, _ -> d
+  in
   let t0 = Deadline.now () in
   let f = Formulation.build ~objective ?prune dfg mrrg in
   if warm_start > 0.0 then begin
     let params = if warm_start >= 20.0 then Anneal.thorough else Anneal.moderate in
     match
-      Anneal.map ~params ~deadline:(Deadline.after ~seconds:warm_start) dfg mrrg
+      Anneal.map ~params ~deadline:(attach (Deadline.after ~seconds:warm_start)) dfg mrrg
     with
     | Anneal.Mapped (m, _) -> apply_warm_phases f m
     | Anneal.Failed _ -> ()
@@ -80,6 +89,8 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?prune ?(warm_s
       build_seconds;
       objective_value;
       proven_optimal;
+      sat_calls = report.Solve.sat_calls;
+      presolve_fixed = report.Solve.presolve_fixed;
     }
   in
   match report.Solve.outcome with

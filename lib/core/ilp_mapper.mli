@@ -14,6 +14,8 @@ type info = {
   build_seconds : float;
   objective_value : int option;  (** routing cost when optimising *)
   proven_optimal : bool;
+  sat_calls : int;               (** SAT invocations; 0 for non-SAT engines *)
+  presolve_fixed : int;          (** variables eliminated by presolve *)
 }
 
 type result =
@@ -25,6 +27,7 @@ val map :
   ?objective:Formulation.objective ->
   ?engine:Cgra_ilp.Solve.engine ->
   ?deadline:Cgra_util.Deadline.t ->
+  ?cancel:bool Atomic.t ->
   ?prune:bool ->
   ?warm_start:float ->
   Dfg.t ->
@@ -33,6 +36,19 @@ val map :
 (** Defaults: [Feasibility] objective (a Table 2 style query),
     SAT-backed engine, no deadline, corridor pruning on.  Mappings are
     checked with {!Check} before being returned.
+
+    {b Reentrancy.}  [map] is the single-job entry point of the
+    parallel sweep engine: it holds no global mutable state — the
+    formulation, the solver instance and the annealer's RNG are all
+    created per call — so concurrent calls from several domains are
+    safe, provided each call gets its own [Dfg.t]/[Mrrg.t] (or shares
+    frozen, no-longer-mutated ones read-only).
+
+    [cancel] attaches a shared cancellation flag to every deadline the
+    call polls (including the warm start's internal deadline): raising
+    the flag from any domain makes the call return [Timeout] at the
+    engine's next poll.  Portfolio racing uses this to stop losing
+    engines.
 
     [warm_start] (default 5 seconds; 0 disables) bounds a quick
     annealing attempt whose verified solution, when found, seeds the

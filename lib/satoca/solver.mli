@@ -10,7 +10,15 @@
 
     Clauses may be added between [solve] calls (the solver restarts to
     the root level), enabling the objective-descent loop of the ILP
-    optimizer. *)
+    optimizer.
+
+    {b Domain-safety.}  All solver state lives inside [t]; there are no
+    global mutable variables, so independent instances may run in
+    parallel on separate domains — the portfolio racer in [Cgra_sweep]
+    relies on this.  A single [t] must never be shared across domains.
+    Each racing engine builds its own solver and is stopped
+    cooperatively through the cancellation flag of the
+    {!Cgra_util.Deadline} it polls. *)
 
 type t
 

@@ -1,0 +1,96 @@
+module Benchmarks = Cgra_dfg.Benchmarks
+module Lib = Cgra_arch.Library
+
+(* Fixed ranks reproduce the paper's ordering; names outside the
+   built-in sets (file-path jobs) sort after them, alphabetically. *)
+let rank_of names name =
+  let rec go i = function
+    | [] -> None
+    | n :: rest -> if n = name then Some i else go (i + 1) rest
+  in
+  go 0 names
+
+let bench_rank =
+  let names = List.map fst Benchmarks.all in
+  fun name -> match rank_of names name with Some i -> (0, i, "") | None -> (1, 0, name)
+
+let arch_rank =
+  let names = List.map fst (Lib.paper_configs ~size:4) in
+  fun name -> match rank_of names name with Some i -> (0, i, "") | None -> (1, 0, name)
+
+let cell_char (r : Record.t) =
+  match r.Record.status with
+  | Record.Feasible -> "1"
+  | Record.Infeasible -> "0"
+  | Record.Timeout -> "T"
+  | Record.Error _ -> "E"
+
+(* Last record wins: a rerun (e.g. with a longer limit appended to the
+   same journal) overrides earlier lines for the same job. *)
+let latest_by_key records =
+  let by_key = Hashtbl.create 64 in
+  List.iter (fun (r : Record.t) -> Hashtbl.replace by_key (Job.key r.Record.job) r) records;
+  by_key
+
+let render records =
+  let by_key = latest_by_key records in
+  let latest = Hashtbl.fold (fun _ r acc -> r :: acc) by_key [] in
+  let benches =
+    List.map (fun (r : Record.t) -> r.Record.job.Job.benchmark) latest
+    |> List.sort_uniq Stdlib.compare
+    |> List.sort (fun a b -> Stdlib.compare (bench_rank a) (bench_rank b))
+  in
+  let columns =
+    List.map
+      (fun (r : Record.t) -> (r.Record.job.Job.arch, r.Record.job.Job.size, r.Record.job.Job.contexts))
+      latest
+    |> List.sort_uniq Stdlib.compare
+    |> List.sort (fun (a1, s1, c1) (a2, s2, c2) ->
+           Stdlib.compare (c1, arch_rank a1, s1) (c2, arch_rank a2, s2))
+  in
+  let many_sizes =
+    List.length (List.sort_uniq Stdlib.compare (List.map (fun (_, s, _) -> s) columns)) > 1
+  in
+  let header (arch, size, contexts) =
+    if many_sizes then Printf.sprintf "%s/%d/ii%d" arch size contexts
+    else Printf.sprintf "%s/ii%d" arch contexts
+  in
+  let buf = Buffer.create 1024 in
+  let col_width =
+    List.fold_left (fun w c -> max w (String.length (header c))) 6 columns
+  in
+  Buffer.add_string buf (Printf.sprintf "%-14s" "Benchmark");
+  List.iter (fun c -> Buffer.add_string buf (Printf.sprintf " %*s" col_width (header c))) columns;
+  Buffer.add_char buf '\n';
+  let totals = Array.make (List.length columns) 0 in
+  List.iter
+    (fun bench ->
+      Buffer.add_string buf (Printf.sprintf "%-14s" bench);
+      List.iteri
+        (fun i (arch, size, contexts) ->
+          let job = { Job.benchmark = bench; arch; size; contexts; limit = 0.0 } in
+          match Hashtbl.find_opt by_key (Job.key job) with
+          | None -> Buffer.add_string buf (Printf.sprintf " %*s" col_width ".")
+          | Some r ->
+              if r.Record.status = Record.Feasible then totals.(i) <- totals.(i) + 1;
+              Buffer.add_string buf (Printf.sprintf " %*s" col_width (cell_char r)))
+        columns;
+      Buffer.add_char buf '\n')
+    benches;
+  Buffer.add_string buf (Printf.sprintf "%-14s" "Total");
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf " %*d" col_width n)) totals;
+  Buffer.add_char buf '\n';
+  (* the paper's §5 runtime remark, from the journal itself *)
+  let times = List.map (fun (r : Record.t) -> r.Record.total_seconds) latest in
+  let n = List.length times in
+  if n > 0 then begin
+    let sorted = List.sort Stdlib.compare times in
+    let within limit = List.length (List.filter (fun t -> t < limit) times) in
+    Buffer.add_string buf
+      (Printf.sprintf "cells: %d; within 60s: %d; median %.2fs; undecided (T/E): %d\n" n
+         (within 60.0)
+         (List.nth sorted (n / 2))
+         (List.length
+            (List.filter (fun (r : Record.t) -> not (Record.definitive r)) latest)))
+  end;
+  Buffer.contents buf

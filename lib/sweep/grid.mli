@@ -1,0 +1,14 @@
+(** Render a journal back into the paper's Table-2 feasibility grid.
+
+    Rows are benchmarks in Table-1 order, columns are architectures in
+    Table-2 order (all single-context columns first); cells print [1]
+    (feasible), [0] (proven infeasible), [T] (timeout), [E] (error) or
+    [.] (not in the journal).  When the journal holds several records
+    for one job — e.g. a rerun appended to the same file — the latest
+    line wins.  A totals row and the paper's §5 runtime summary close
+    the table. *)
+
+val render : Record.t list -> string
+
+val latest_by_key : Record.t list -> (string, Record.t) Hashtbl.t
+(** The journal's effective contents: last record per {!Job.key}. *)

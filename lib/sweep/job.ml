@@ -1,0 +1,39 @@
+module Benchmarks = Cgra_dfg.Benchmarks
+module Lib = Cgra_arch.Library
+
+type t = {
+  benchmark : string;
+  arch : string;
+  size : int;
+  contexts : int;
+  limit : float;
+}
+
+let key j = Printf.sprintf "%s|%s|s%d|c%d" j.benchmark j.arch j.size j.contexts
+
+let pp fmt j =
+  Format.fprintf fmt "%s@@%s/%dx%d/ii%d" j.benchmark j.arch j.size j.size j.contexts
+
+let to_string j = Format.asprintf "%a" pp j
+
+let compare a b = Stdlib.compare (a.benchmark, a.arch, a.size, a.contexts) (b.benchmark, b.arch, b.size, b.contexts)
+
+(* An empty filter means the full built-in set.  A filter entry that
+   names nothing built-in is kept verbatim: it may be a .dfg/.adl file
+   path, and if it is neither the job records a per-job [Error] rather
+   than aborting the sweep. *)
+let select ~builtin = function [] -> builtin | filters -> filters
+
+let paper_grid ?(size = 4) ?(contexts = [ 1; 2 ]) ?(limit = 120.0) ?(benchmarks = [])
+    ?(archs = []) () =
+  let bench_names = select ~builtin:(List.map fst Benchmarks.all) benchmarks in
+  let arch_names = select ~builtin:(List.map fst (Lib.paper_configs ~size)) archs in
+  (* Paper column order: all architectures at ii=1 first, then ii=2 —
+     iterate contexts outermost, benchmarks innermost so the job list
+     reads row-major in the printed grid. *)
+  List.concat_map
+    (fun ii ->
+      List.concat_map
+        (fun arch -> List.map (fun benchmark -> { benchmark; arch; size; contexts = ii; limit }) bench_names)
+        arch_names)
+    (List.sort_uniq Stdlib.compare contexts)

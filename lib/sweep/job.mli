@@ -1,0 +1,40 @@
+(** Sweep jobs: one (benchmark, architecture, context-count) mapping
+    query, the unit of work the scheduler distributes over domains.
+
+    [benchmark] and [arch] are names resolved by {!Runner}: built-in
+    Table-1 benchmark names and Table-2 architecture names are looked
+    up directly; anything else is treated as a [.dfg] / [.adl] file
+    path.  Unresolvable names produce a per-job [Error] record, never a
+    sweep failure. *)
+
+type t = {
+  benchmark : string;  (** Table-1 name or [.dfg] path *)
+  arch : string;       (** Table-2 config name or [.adl] path *)
+  size : int;          (** array size N (NxN) for built-in architectures *)
+  contexts : int;      (** the initiation interval II *)
+  limit : float;       (** per-job time budget in seconds; 0 = none *)
+}
+
+val key : t -> string
+(** Stable identity used by the resume journal: two runs of the same
+    sweep produce identical keys ([limit] is excluded — re-running with
+    a longer budget still skips completed jobs). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val paper_grid :
+  ?size:int ->
+  ?contexts:int list ->
+  ?limit:float ->
+  ?benchmarks:string list ->
+  ?archs:string list ->
+  unit ->
+  t list
+(** The paper's Table-2 grid: 19 benchmarks x 4 structural
+    architectures x contexts (default [[1; 2]]) = 152 jobs, in the
+    paper's column order (all single-context columns first).
+    [benchmarks] / [archs] filter the grid; filter entries that match
+    no built-in name are kept as file-path jobs. *)

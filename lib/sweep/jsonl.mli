@@ -1,0 +1,31 @@
+(** Minimal JSON values for the sweep's line-oriented result store.
+
+    The repository deliberately has no external JSON dependency; this
+    module implements exactly what the JSONL journal needs: compact
+    one-line printing, a strict recursive-descent parser, and a few
+    typed accessors.  It is a full JSON subset (no surrogate-pair
+    handling in [\u] escapes beyond the basic multilingual plane). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — JSONL-safe).  Integral
+    numbers print without a decimal point. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an
+    error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,20 @@
+(** Portfolio racing: run several engine variants concurrently on the
+    same job and keep the first definitive answer.
+
+    Every variant runs on its own domain with its own solver state (see
+    {!Runner}); the variants share only one cancellation flag.  When a
+    racer returns [Feasible] or [Infeasible] — proofs, on which
+    complete engines cannot disagree — it publishes itself as the
+    winner and raises the flag; the losers observe it at their next
+    deadline poll and wind down.  If no racer is definitive the race
+    reports a [Timeout] (preferred) or, failing that, the first
+    racer's error.
+
+    The returned record's [engine] names the winning variant and
+    [total_seconds] is the race's wall clock; [solve_seconds] /
+    [sat_calls] / [presolve_fixed] are the winner's own statistics. *)
+
+val race : ?variants:Runner.variant list -> Job.t -> Record.t
+(** Race [variants] (default {!Runner.portfolio_variants}).
+    @raise Invalid_argument on an empty variant list.  A singleton
+    list degenerates to a plain {!Runner.run_variant} call. *)

@@ -1,0 +1,97 @@
+type status = Feasible | Infeasible | Timeout | Error of string
+
+type t = {
+  job : Job.t;
+  status : status;
+  engine : string;
+  total_seconds : float;
+  solve_seconds : float;
+  build_seconds : float;
+  sat_calls : int;
+  presolve_fixed : int;
+}
+
+let error job msg =
+  {
+    job;
+    status = Error msg;
+    engine = "-";
+    total_seconds = 0.0;
+    solve_seconds = 0.0;
+    build_seconds = 0.0;
+    sat_calls = 0;
+    presolve_fixed = 0;
+  }
+
+let status_to_string = function
+  | Feasible -> "feasible"
+  | Infeasible -> "infeasible"
+  | Timeout -> "timeout"
+  | Error _ -> "error"
+
+let definitive r = match r.status with Feasible | Infeasible -> true | Timeout | Error _ -> false
+
+let to_json r =
+  let base =
+    [
+      ("benchmark", Jsonl.Str r.job.Job.benchmark);
+      ("arch", Jsonl.Str r.job.Job.arch);
+      ("size", Jsonl.Num (float_of_int r.job.Job.size));
+      ("contexts", Jsonl.Num (float_of_int r.job.Job.contexts));
+      ("limit", Jsonl.Num r.job.Job.limit);
+      ("status", Jsonl.Str (status_to_string r.status));
+      ("engine", Jsonl.Str r.engine);
+      ("total_seconds", Jsonl.Num r.total_seconds);
+      ("solve_seconds", Jsonl.Num r.solve_seconds);
+      ("build_seconds", Jsonl.Num r.build_seconds);
+      ("sat_calls", Jsonl.Num (float_of_int r.sat_calls));
+      ("presolve_fixed", Jsonl.Num (float_of_int r.presolve_fixed));
+    ]
+  in
+  let extra = match r.status with Error msg -> [ ("message", Jsonl.Str msg) ] | _ -> [] in
+  Jsonl.Obj (base @ extra)
+
+let of_json j =
+  let str k = Option.bind (Jsonl.member k j) Jsonl.to_str in
+  let num k = Option.bind (Jsonl.member k j) Jsonl.to_float in
+  let int_field k = Option.bind (Jsonl.member k j) Jsonl.to_int in
+  match (str "benchmark", str "arch", int_field "size", int_field "contexts", str "status") with
+  | Some benchmark, Some arch, Some size, Some contexts, Some status_s ->
+      let status =
+        match status_s with
+        | "feasible" -> Ok Feasible
+        | "infeasible" -> Ok Infeasible
+        | "timeout" -> Ok Timeout
+        | "error" -> Ok (Error (Option.value ~default:"" (str "message")))
+        | other -> Stdlib.Error (Printf.sprintf "unknown status %S" other)
+      in
+      Result.map
+        (fun status ->
+          {
+            job =
+              {
+                Job.benchmark;
+                arch;
+                size;
+                contexts;
+                limit = Option.value ~default:0.0 (num "limit");
+              };
+            status;
+            engine = Option.value ~default:"-" (str "engine");
+            total_seconds = Option.value ~default:0.0 (num "total_seconds");
+            solve_seconds = Option.value ~default:0.0 (num "solve_seconds");
+            build_seconds = Option.value ~default:0.0 (num "build_seconds");
+            sat_calls = Option.value ~default:0 (int_field "sat_calls");
+            presolve_fixed = Option.value ~default:0 (int_field "presolve_fixed");
+          })
+        status
+  | _ -> Stdlib.Error "missing required field (benchmark/arch/size/contexts/status)"
+
+let to_line r = Jsonl.to_string (to_json r)
+
+let of_line line =
+  match Jsonl.of_string line with Ok j -> of_json j | Error e -> Stdlib.Error e
+
+let pp fmt r =
+  Format.fprintf fmt "%a %s (%s, %.2fs)" Job.pp r.job (status_to_string r.status) r.engine
+    r.total_seconds

@@ -1,0 +1,42 @@
+(** One sweep outcome: everything needed to rebuild a Table-2 cell (or
+    a Figure-8 bar) deterministically, plus the provenance the paper
+    reports — which engine decided the cell and how long it took.
+
+    Records round-trip through single JSONL lines ({!to_line} /
+    {!of_line}); the line format is the sweep's on-disk journal and is
+    documented in EXPERIMENTS.md. *)
+
+type status =
+  | Feasible        (** a verified mapping exists *)
+  | Infeasible      (** proven: no mapping exists *)
+  | Timeout         (** budget exhausted, undecided *)
+  | Error of string (** the job raised; the message, never the sweep, dies *)
+
+type t = {
+  job : Job.t;
+  status : status;
+  engine : string;        (** winning engine variant, e.g. ["sat-warm"]; ["-"] on error *)
+  total_seconds : float;  (** wall clock for the whole job (all racers) *)
+  solve_seconds : float;  (** winning engine's solve time *)
+  build_seconds : float;  (** winning engine's formulation-build time *)
+  sat_calls : int;        (** winning engine's SAT invocations *)
+  presolve_fixed : int;   (** variables eliminated by presolve *)
+}
+
+val error : Job.t -> string -> t
+(** A zero-cost [Error] record for a job that could not run. *)
+
+val definitive : t -> bool
+(** [Feasible] and [Infeasible] are proofs; [Timeout]/[Error] are not. *)
+
+val status_to_string : status -> string
+
+val to_json : t -> Jsonl.t
+val of_json : Jsonl.t -> (t, string) result
+
+val to_line : t -> string
+(** One JSONL line (no trailing newline). *)
+
+val of_line : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

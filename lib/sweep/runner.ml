@@ -1,0 +1,117 @@
+module Dfg = Cgra_dfg.Dfg
+module Benchmarks = Cgra_dfg.Benchmarks
+module Lib = Cgra_arch.Library
+module Adl = Cgra_arch.Adl
+module Build = Cgra_mrrg.Build
+module IM = Cgra_core.Ilp_mapper
+module Formulation = Cgra_core.Formulation
+module Solve = Cgra_ilp.Solve
+module Deadline = Cgra_util.Deadline
+
+type variant = { name : string; engine : Solve.engine; warm_start : float }
+
+let default_variant = { name = "sat"; engine = Solve.Sat_backed; warm_start = 5.0 }
+
+(* The portfolio: the SAT engine raced cold (fast on easy cells and on
+   infeasibility proofs, where warm-start time is pure loss) and warm
+   (wins on hard feasible cells), plus the independent branch-and-bound
+   engine as a third, structurally different prover. *)
+let portfolio_variants =
+  [
+    { name = "sat-cold"; engine = Solve.Sat_backed; warm_start = 0.0 };
+    { name = "sat-warm"; engine = Solve.Sat_backed; warm_start = 5.0 };
+    { name = "bnb"; engine = Solve.Branch_and_bound; warm_start = 0.0 };
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_benchmark name =
+  match Benchmarks.by_name name with
+  | Some dfg -> Ok dfg
+  | None ->
+      if Sys.file_exists name then Dfg.of_text (read_file name)
+      else Error (Printf.sprintf "unknown benchmark %S" name)
+
+let load_arch ~size name =
+  match Lib.find_config ~size name with
+  | Some config -> Ok (Lib.make config)
+  | None ->
+      if Sys.file_exists name then Adl.of_string (read_file name)
+      else Error (Printf.sprintf "unknown architecture %S" name)
+
+(* Every invocation elaborates its own DFG/arch/MRRG so that racing
+   variants share no mutable structure at all — elaboration is
+   microseconds against solves of seconds. *)
+let prepare (job : Job.t) =
+  match load_benchmark job.Job.benchmark with
+  | Error e -> Error e
+  | Ok dfg -> (
+      match load_arch ~size:job.Job.size job.Job.arch with
+      | Error e -> Error e
+      | Ok arch -> Ok (dfg, Build.elaborate arch ~ii:job.Job.contexts))
+
+let deadline_of (job : Job.t) =
+  if job.Job.limit <= 0.0 then Deadline.none else Deadline.after ~seconds:job.Job.limit
+
+let record_of_result (job : Job.t) ~engine ~total_seconds = function
+  | IM.Mapped (_, info) ->
+      {
+        Record.job;
+        status = Record.Feasible;
+        engine;
+        total_seconds;
+        solve_seconds = info.IM.solve_seconds;
+        build_seconds = info.IM.build_seconds;
+        sat_calls = info.IM.sat_calls;
+        presolve_fixed = info.IM.presolve_fixed;
+      }
+  | IM.Infeasible info ->
+      {
+        Record.job;
+        status = Record.Infeasible;
+        engine;
+        total_seconds;
+        solve_seconds = info.IM.solve_seconds;
+        build_seconds = info.IM.build_seconds;
+        sat_calls = info.IM.sat_calls;
+        presolve_fixed = info.IM.presolve_fixed;
+      }
+  | IM.Timeout info ->
+      {
+        Record.job;
+        status = Record.Timeout;
+        engine;
+        total_seconds;
+        solve_seconds = info.IM.solve_seconds;
+        build_seconds = info.IM.build_seconds;
+        sat_calls = info.IM.sat_calls;
+        presolve_fixed = info.IM.presolve_fixed;
+      }
+
+let run_variant ?cancel (variant : variant) (job : Job.t) =
+  let t0 = Deadline.now () in
+  match prepare job with
+  | Error msg -> Record.error job msg
+  | Ok (dfg, mrrg) -> (
+      let warm_start =
+        if job.Job.limit > 0.0 then Float.min variant.warm_start (job.Job.limit /. 4.0)
+        else variant.warm_start
+      in
+      match
+        IM.map ~objective:Formulation.Feasibility ~engine:variant.engine
+          ~deadline:(deadline_of job) ?cancel ~warm_start dfg mrrg
+      with
+      | result ->
+          record_of_result job ~engine:variant.name
+            ~total_seconds:(Deadline.elapsed_of ~start:t0) result
+      | exception e ->
+          { (Record.error job (Printexc.to_string e)) with
+            Record.total_seconds = Deadline.elapsed_of ~start:t0;
+            engine = variant.name;
+          })
+
+let run ?cancel (job : Job.t) = run_variant ?cancel default_variant job

@@ -1,0 +1,35 @@
+(** Single-job execution: resolve a {!Job.t}'s benchmark and
+    architecture names, elaborate the MRRG, run one exact engine, and
+    fold the answer into a {!Record.t}.
+
+    Runs are hermetic by construction — every invocation builds its own
+    DFG, architecture and MRRG, so concurrent invocations on separate
+    domains (the scheduler's workers, the portfolio's racers) share no
+    mutable state.  Exceptions never escape: any failure becomes an
+    [Error] record. *)
+
+type variant = {
+  name : string;               (** recorded as the winning engine *)
+  engine : Cgra_ilp.Solve.engine;
+  warm_start : float;          (** annealing warm-start budget, seconds *)
+}
+
+val default_variant : variant
+(** The single-engine configuration: SAT-backed with a short warm
+    start, the repository's standard exact query. *)
+
+val portfolio_variants : variant list
+(** The racing portfolio: cold SAT, warm SAT, branch-and-bound. *)
+
+val run_variant : ?cancel:bool Atomic.t -> variant -> Job.t -> Record.t
+(** Run one engine variant under the job's time budget.  [cancel]
+    attaches a shared cancellation flag (see
+    {!Cgra_util.Deadline.with_cancellation}); a cancelled run records
+    [Timeout]. *)
+
+val run : ?cancel:bool Atomic.t -> Job.t -> Record.t
+(** [run_variant default_variant]. *)
+
+val prepare : Job.t -> (Cgra_dfg.Dfg.t * Cgra_mrrg.Mrrg.t, string) result
+(** Name resolution + MRRG elaboration without solving (for tests and
+    diagnostics). *)

@@ -1,0 +1,36 @@
+(** The sweep work queue: fan a job list out over OCaml 5 domains.
+
+    Workers claim jobs from a shared atomic counter, so the schedule is
+    dynamic (long jobs do not stall the queue) while the result list
+    stays in input order — the answers are deterministic regardless of
+    worker count, only timings vary.  A job that raises records
+    [Error] and the sweep continues; a worker can never die with jobs
+    still queued.
+
+    [on_event] is serialised by a mutex, so callbacks may write to
+    shared channels (progress lines, the JSONL {!Store}) without their
+    own locking; exceptions it raises are swallowed. *)
+
+type event =
+  | Job_started of { index : int; total : int; worker : int; job : Job.t }
+  | Job_finished of { index : int; total : int; worker : int; record : Record.t }
+
+type stats = {
+  ran : int;           (** jobs executed *)
+  skipped : int;       (** jobs dropped by [skip] (resume) *)
+  wall_seconds : float;
+}
+
+val run :
+  ?jobs:int ->
+  ?portfolio:bool ->
+  ?skip:(Job.t -> bool) ->
+  ?on_event:(event -> unit) ->
+  Job.t list ->
+  Record.t list * stats
+(** [run ~jobs job_list] executes the non-skipped jobs on [jobs]
+    workers (the calling domain plus [jobs - 1] spawned ones; default
+    1) and returns their records in input order.  [portfolio] races
+    {!Runner.portfolio_variants} per job instead of the single default
+    engine.  [skip] implements resume: skipped jobs produce no record
+    here (their records already live in the journal). *)

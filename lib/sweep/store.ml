@@ -1,0 +1,42 @@
+type t = { oc : out_channel; mutex : Mutex.t }
+
+let append_to path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  { oc; mutex = Mutex.create () }
+
+let append t record =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      output_string t.oc (Record.to_line record);
+      output_char t.oc '\n';
+      (* Flush every line: the journal must survive a killed sweep. *)
+      flush t.oc)
+
+let close t = close_out t.oc
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line ->
+          let line = String.trim line in
+          if line = "" then go acc
+          else
+            (* A malformed line (e.g. a partial write from a killed
+               run) is skipped, not fatal: its job simply reruns. *)
+            go (match Record.of_line line with Ok r -> r :: acc | Error _ -> acc)
+    in
+    let records = go [] in
+    close_in ic;
+    records
+  end
+
+let completed_keys records =
+  let keys = Hashtbl.create 64 in
+  List.iter (fun (r : Record.t) -> Hashtbl.replace keys (Job.key r.Record.job) ()) records;
+  keys

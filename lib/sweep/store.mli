@@ -1,0 +1,25 @@
+(** Append-only JSONL result store, doubling as the resume journal.
+
+    Each record is one line, flushed as soon as it is written, so a
+    sweep killed at any point loses at most the jobs still in flight;
+    re-running with the same output file skips every recorded job.
+    {!append} is mutex-protected and may be called concurrently from
+    the scheduler's event callback. *)
+
+type t
+
+val append_to : string -> t
+(** Open (creating if necessary) for appending. *)
+
+val append : t -> Record.t -> unit
+(** Write one record as a line and flush.  Thread-safe. *)
+
+val close : t -> unit
+
+val load : string -> Record.t list
+(** All parseable records in file order; [[]] if the file does not
+    exist.  Malformed lines (e.g. a torn write from a killed run) are
+    skipped silently — their jobs simply run again. *)
+
+val completed_keys : Record.t list -> (string, unit) Hashtbl.t
+(** The {!Job.key}s present in a journal, for resume filtering. *)

@@ -1,10 +1,11 @@
 let src = Logs.Src.create "cgra" ~doc:"CGRA ILP mapping framework"
 
-let installed = ref false
+(* Atomic so that concurrent first calls from several domains install
+   the reporter exactly once. *)
+let installed = Atomic.make false
 
 let setup ?(level = Logs.Warning) () =
-  if not !installed then begin
-    installed := true;
+  if Atomic.compare_and_set installed false true then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some level)
   end

@@ -4,7 +4,15 @@
     simulated-annealing mapper, property-test fixtures) draw from this
     generator so that every run is reproducible from a single integer
     seed.  The implementation is SplitMix64, which is adequate for
-    simulation purposes and has no global state. *)
+    simulation purposes and has no global state.
+
+    {b Domain-safety.}  There is no shared state between generators, so
+    distinct domains may each use their own [t] freely; a single [t] is
+    {e not} safe to share across domains (its state is a plain mutable
+    cell, and racing on it loses determinism).  Parallel code must give
+    every worker its own instance — derive per-worker generators with
+    {!split} or [create] from distinct seeds, as the sweep scheduler
+    does. *)
 
 type t
 (** Mutable generator state. *)

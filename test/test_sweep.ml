@@ -1,0 +1,234 @@
+module Job = Cgra_sweep.Job
+module Record = Cgra_sweep.Record
+module Jsonl = Cgra_sweep.Jsonl
+module Store = Cgra_sweep.Store
+module Runner = Cgra_sweep.Runner
+module Portfolio = Cgra_sweep.Portfolio
+module Scheduler = Cgra_sweep.Scheduler
+module Grid = Cgra_sweep.Grid
+module Deadline = Cgra_util.Deadline
+
+(* Tiny jobs (2x2 array) that decide in well under a second each:
+   mac is infeasible at both context counts, 2x2-f becomes feasible
+   with a second context. *)
+let job ?(bench = "mac") ?(contexts = 1) ?(limit = 10.0) () =
+  { Job.benchmark = bench; arch = "homo-orth"; size = 2; contexts; limit }
+
+let fast_jobs =
+  [
+    job ();
+    job ~bench:"2x2-f" ();
+    job ~contexts:2 ();
+    job ~bench:"2x2-f" ~contexts:2 ();
+  ]
+
+let statuses records = List.map (fun (r : Record.t) -> Record.status_to_string r.Record.status) records
+
+let temp_journal () = Filename.temp_file "cgra_sweep_test" ".jsonl"
+
+(* ---------------- Jsonl ---------------- *)
+
+let test_jsonl_roundtrip () =
+  let v =
+    Jsonl.Obj
+      [
+        ("s", Jsonl.Str "a \"quoted\"\nline\t\\");
+        ("i", Jsonl.Num 42.0);
+        ("f", Jsonl.Num 0.125);
+        ("neg", Jsonl.Num (-3.0));
+        ("b", Jsonl.Bool true);
+        ("n", Jsonl.Null);
+        ("l", Jsonl.List [ Jsonl.Num 1.0; Jsonl.Str "x"; Jsonl.Obj [] ]);
+      ]
+  in
+  let line = Jsonl.to_string v in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  match Jsonl.of_string line with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok v' -> Alcotest.(check bool) "roundtrip equal" true (v = v')
+
+let test_jsonl_errors () =
+  let bad = [ "{"; "{\"a\" 1}"; "[1,]"; "tru"; "\"unterminated"; "{} trailing" ] in
+  List.iter
+    (fun s ->
+      match Jsonl.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" s
+      | Error _ -> ())
+    bad;
+  Alcotest.(check (option string))
+    "escapes decode"
+    (Some "a/b\n")
+    (Option.bind (Result.to_option (Jsonl.of_string "\"a\\/b\\n\"")) Jsonl.to_str)
+
+let test_record_roundtrip () =
+  let r =
+    {
+      Record.job = job ~bench:"exp_4" ~contexts:2 ~limit:300.0 ();
+      status = Record.Infeasible;
+      engine = "sat-cold";
+      total_seconds = 12.5;
+      solve_seconds = 11.25;
+      build_seconds = 1.25;
+      sat_calls = 3;
+      presolve_fixed = 17;
+    }
+  in
+  match Record.of_line (Record.to_line r) with
+  | Error e -> Alcotest.failf "record reparse failed: %s" e
+  | Ok r' -> Alcotest.(check bool) "record roundtrip" true (r = r')
+
+let test_record_error_roundtrip () =
+  let r = Record.error (job ()) "boom: \"quoted\" reason" in
+  match Record.of_line (Record.to_line r) with
+  | Error e -> Alcotest.failf "error-record reparse failed: %s" e
+  | Ok r' -> Alcotest.(check bool) "error record roundtrip" true (r = r')
+
+(* ---------------- Store ---------------- *)
+
+let test_store_roundtrip () =
+  let path = temp_journal () in
+  let store = Store.append_to path in
+  let records = List.map (fun j -> Record.error j "placeholder") fast_jobs in
+  List.iter (Store.append store) records;
+  Store.close store;
+  let loaded = Store.load path in
+  Alcotest.(check int) "all lines load" (List.length records) (List.length loaded);
+  Alcotest.(check bool) "contents preserved" true (records = loaded);
+  (* a torn line (killed mid-write) must not poison the journal *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"benchmark\":\"torn";
+  close_out oc;
+  Alcotest.(check int) "torn line skipped" (List.length records) (List.length (Store.load path));
+  Sys.remove path
+
+let test_store_missing_file () =
+  Alcotest.(check int) "missing journal is empty" 0
+    (List.length (Store.load "/nonexistent/journal.jsonl"))
+
+(* ---------------- Scheduler ---------------- *)
+
+let test_scheduler_deterministic () =
+  let run n =
+    let records, stats = Scheduler.run ~jobs:n fast_jobs in
+    Alcotest.(check int) "all jobs ran" (List.length fast_jobs) stats.Scheduler.ran;
+    records
+  in
+  let seq = run 1 and par = run 3 in
+  Alcotest.(check (list string)) "statuses independent of worker count" (statuses seq) (statuses par);
+  List.iter2
+    (fun (a : Record.t) (b : Record.t) ->
+      Alcotest.(check string) "result order is input order" (Job.key a.Record.job)
+        (Job.key b.Record.job))
+    seq par;
+  Alcotest.(check (list string))
+    "expected Table-2 slice"
+    [ "infeasible"; "infeasible"; "infeasible"; "feasible" ]
+    (statuses seq)
+
+let test_scheduler_error_capture () =
+  let jobs = [ job (); job ~bench:"no-such-benchmark" (); job ~bench:"2x2-f" ~contexts:2 () ] in
+  let records, stats = Scheduler.run ~jobs:2 jobs in
+  Alcotest.(check int) "sweep completed" 3 stats.Scheduler.ran;
+  Alcotest.(check (list string))
+    "bad job is an error, neighbours unaffected"
+    [ "infeasible"; "error"; "feasible" ]
+    (statuses records);
+  match (List.nth records 1).Record.status with
+  | Record.Error msg ->
+      Alcotest.(check bool) "error names the benchmark" true
+        (Astring.String.is_infix ~affix:"no-such-benchmark" msg)
+  | _ -> Alcotest.fail "expected an error record"
+
+let test_scheduler_resume () =
+  let path = temp_journal () in
+  let store = Store.append_to path in
+  (* first run: only the two single-context jobs *)
+  let first = [ List.nth fast_jobs 0; List.nth fast_jobs 1 ] in
+  let r1, _ = Scheduler.run ~jobs:1 first in
+  List.iter (Store.append store) r1;
+  Store.close store;
+  (* resumed run over the full list skips what the journal records *)
+  let done_keys = Store.completed_keys (Store.load path) in
+  let skip j = Hashtbl.mem done_keys (Job.key j) in
+  let store = Store.append_to path in
+  let r2, stats = Scheduler.run ~jobs:2 ~skip ~on_event:(function
+      | Scheduler.Job_finished { record; _ } -> Store.append store record
+      | Scheduler.Job_started _ -> ())
+      fast_jobs
+  in
+  Store.close store;
+  Alcotest.(check int) "only unfinished jobs ran" 2 stats.Scheduler.ran;
+  Alcotest.(check int) "finished jobs skipped" 2 stats.Scheduler.skipped;
+  Alcotest.(check (list string)) "second run computed the ii2 cells"
+    [ "infeasible"; "feasible" ] (statuses r2);
+  let merged = Grid.latest_by_key (Store.load path) in
+  Alcotest.(check int) "journal now covers the whole grid" 4 (Hashtbl.length merged);
+  Sys.remove path
+
+(* ---------------- Portfolio ---------------- *)
+
+let test_portfolio_definitive () =
+  List.iter
+    (fun j ->
+      let raced = Portfolio.race j in
+      let single = Runner.run j in
+      Alcotest.(check bool) "portfolio answer is definitive" true (Record.definitive raced);
+      Alcotest.(check string) "portfolio agrees with single-engine Sat_backed"
+        (Record.status_to_string single.Record.status)
+        (Record.status_to_string raced.Record.status);
+      Alcotest.(check bool) "winner is a portfolio variant" true
+        (List.mem raced.Record.engine
+           (List.map (fun (v : Runner.variant) -> v.Runner.name) Runner.portfolio_variants)))
+    [ job (); job ~bench:"2x2-f" ~contexts:2 () ]
+
+let test_portfolio_cancellation () =
+  (* A raised flag makes a mapping call wind down promptly as Timeout.
+     The job must genuinely need search (the 2x2 cells are decided by
+     presolve before any deadline poll): add_16 on the paper's 4x4
+     orthogonal array is an infeasibility proof that normally takes
+     minutes. *)
+  let cancel = Deadline.new_cancellation () in
+  Deadline.cancel cancel;
+  let hard = { (job ~bench:"add_16" ~limit:60.0 ()) with Job.size = 4 } in
+  let r = Runner.run ~cancel hard in
+  Alcotest.(check string) "pre-cancelled run times out" "timeout"
+    (Record.status_to_string r.Record.status);
+  Alcotest.(check bool) "and returns immediately, not at the limit" true
+    (r.Record.total_seconds < 30.0)
+
+(* ---------------- Grid ---------------- *)
+
+let test_grid_render () =
+  let records, _ = Scheduler.run ~jobs:2 fast_jobs in
+  let table = Grid.render records in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "table contains %S" needle) true
+        (Astring.String.is_infix ~affix:needle table))
+    [ "Benchmark"; "homo-orth/ii1"; "homo-orth/ii2"; "mac"; "2x2-f"; "Total" ];
+  (* the latest record for a key wins *)
+  let override =
+    { (List.hd records) with Record.status = Record.Timeout; engine = "override" }
+  in
+  let table' = Grid.render (records @ [ override ]) in
+  Alcotest.(check bool) "rerun overrides earlier line" true
+    (Astring.String.is_infix ~affix:"T" table')
+
+let suites =
+  [
+    ( "sweep",
+      [
+        Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "jsonl rejects malformed" `Quick test_jsonl_errors;
+        Alcotest.test_case "record line roundtrip" `Quick test_record_roundtrip;
+        Alcotest.test_case "error record roundtrip" `Quick test_record_error_roundtrip;
+        Alcotest.test_case "store append/load" `Quick test_store_roundtrip;
+        Alcotest.test_case "store missing file" `Quick test_store_missing_file;
+        Alcotest.test_case "scheduler deterministic across --jobs" `Slow test_scheduler_deterministic;
+        Alcotest.test_case "scheduler records errors, sweep survives" `Slow test_scheduler_error_capture;
+        Alcotest.test_case "resume skips journaled jobs" `Slow test_scheduler_resume;
+        Alcotest.test_case "portfolio first-definitive agreement" `Slow test_portfolio_definitive;
+        Alcotest.test_case "cancellation stops a run" `Slow test_portfolio_cancellation;
+        Alcotest.test_case "table renders from journal" `Slow test_grid_render;
+      ] );
+  ]

@@ -75,6 +75,24 @@ let test_deadline () =
   | None -> Alcotest.fail "expected finite remaining"
   | Some s -> Alcotest.(check bool) "remaining positive" true (s > 0.0)
 
+let test_deadline_cancellation () =
+  let flag = Deadline.new_cancellation () in
+  let d = Deadline.with_cancellation (Deadline.after ~seconds:3600.0) flag in
+  Alcotest.(check bool) "not expired before cancel" false (Deadline.expired d);
+  Alcotest.(check bool) "not cancelled yet" false (Deadline.cancelled d);
+  Deadline.cancel flag;
+  Alcotest.(check bool) "cancel expires the deadline" true (Deadline.expired d);
+  Alcotest.(check bool) "cancelled is observable" true (Deadline.cancelled d);
+  (* the flag is shared: a second deadline carrying it expires too *)
+  let d2 = Deadline.with_cancellation Deadline.none flag in
+  Alcotest.(check bool) "shared flag expires sibling deadlines" true (Deadline.expired d2);
+  (* a flag set from another domain is observed here *)
+  let flag2 = Deadline.new_cancellation () in
+  let d3 = Deadline.with_cancellation Deadline.none flag2 in
+  let worker = Domain.spawn (fun () -> Deadline.cancel flag2) in
+  Domain.join worker;
+  Alcotest.(check bool) "cross-domain cancellation" true (Deadline.expired d3)
+
 let suites =
   [
     ( "util",
@@ -88,5 +106,6 @@ let suites =
         Alcotest.test_case "veci swap_remove" `Quick test_veci_swap_remove;
         Alcotest.test_case "veci sort" `Quick test_veci_sort;
         Alcotest.test_case "deadline" `Quick test_deadline;
+        Alcotest.test_case "deadline cancellation" `Quick test_deadline_cancellation;
       ] );
   ]
