@@ -6,6 +6,7 @@
      fig8              SA mapper vs ILP mapper (paper Figure 8)
      sizes             formulation sizes per cell (diagnostics)
      sweep             parallel sweep engine scaling (--jobs 1/2/4)
+     certify           DRAT certification overhead (proof logging on vs off)
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -298,6 +299,56 @@ let run_sweep_scaling opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Certification overhead: proof logging + checking vs plain solving   *)
+(* ------------------------------------------------------------------ *)
+
+(* Small 2x2 cells whose verdicts need real CDCL search (not presolve),
+   so the proof trace is non-trivial: mac is infeasible at both context
+   counts, 2x2-f flips to feasible at ii2.  The [plain] column is the
+   defaults path — proof logging disabled costs one [option] test per
+   solver event — and [certified] includes both logging and the
+   independent DRAT re-check of infeasible answers. *)
+let run_certify opts =
+  Printf.printf "== Certification overhead (2x2 cells, %d reps) ==\n" 3;
+  let reps = 3 in
+  let arch =
+    match Lib.find_config ~size:2 "homo-orth" with
+    | Some c -> Lib.make c
+    | None -> failwith "bench certify: homo-orth config missing"
+  in
+  Printf.printf "  %-10s %-4s %10s %10s %9s %12s\n" "benchmark" "ii" "plain" "certified"
+    "overhead" "proof steps";
+  List.iter
+    (fun (bench, ii) ->
+      match Benchmarks.by_name bench with
+      | None -> Printf.printf "  %-10s unknown benchmark\n" bench
+      | Some dfg ->
+          let mrrg = Build.elaborate arch ~ii in
+          let once certify =
+            IM.map ~deadline:(Deadline.after ~seconds:opts.limit) ~warm_start:0.0 ~certify dfg
+              mrrg
+          in
+          let time certify =
+            let t0 = Deadline.now () in
+            for _ = 1 to reps do
+              ignore (once certify)
+            done;
+            Deadline.elapsed_of ~start:t0 /. float_of_int reps
+          in
+          let plain = time false in
+          let certified = time true in
+          let steps =
+            match once true with
+            | IM.Infeasible info | IM.Timeout info -> info.IM.proof_steps
+            | IM.Mapped (_, info) -> info.IM.proof_steps
+          in
+          Printf.printf "  %-10s ii%-3d %9.3fs %9.3fs %8.2fx %12d\n%!" bench ii plain certified
+            (if plain > 0.0 then certified /. plain else 0.0)
+            steps)
+    [ ("mac", 1); ("2x2-f", 1); ("mac", 2); ("2x2-f", 2) ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -380,6 +431,7 @@ let () =
       | "sizes" -> run_sizes opts
       | "ablation" -> run_ablation opts
       | "sweep" -> run_sweep_scaling opts
+      | "certify" -> run_certify opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

@@ -120,22 +120,41 @@ let archs_cmd =
     (Cmd.info "archs" ~doc:"List the built-in architectures with netlist and MRRG sizes.")
     Term.(const run $ size_arg $ contexts_arg)
 
+let certify_arg =
+  let doc =
+    "Certify the verdict: an infeasible answer must carry a DRAT refutation that the \
+     independent in-repo checker validates (feasible answers are always validated by the \
+     mapping checker)."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let map_cmd =
-  let run bench arch size contexts limit optimize =
+  let run bench arch size contexts limit optimize certify =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
     let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
-    let result = IM.map ~objective ~deadline:(deadline_of limit) dfg mrrg in
+    let result = IM.map ~objective ~deadline:(deadline_of limit) ~certify dfg mrrg in
     match result with
     | IM.Mapped (m, info) ->
         Printf.printf "feasible: %s\n" (Format.asprintf "%a" IM.pp_result result);
         Printf.printf "model: %s (built in %.2fs)\n"
           (Format.asprintf "%a" Formulation.pp_size info.IM.size)
           info.IM.build_seconds;
+        if certify then print_endline "certified: mapping accepted by the independent checker";
         print_endline (Mapping.to_string m)
     | IM.Infeasible info ->
-        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds
+        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
+        if certify then
+          if info.IM.certified then
+            Printf.printf
+              "certified: DRAT refutation (%d inference steps) validated by the independent \
+               checker\n"
+              info.IM.proof_steps
+          else begin
+            print_endline "certification incomplete (deadline hit during proof replay)";
+            exit 3
+          end
     | IM.Timeout _ ->
         print_endline "timeout: feasibility undecided";
         exit 3
@@ -143,7 +162,9 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map"
        ~doc:"Map a benchmark onto an architecture with the exact ILP mapper (paper Fig. 7).")
-    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg)
+    Term.(
+      const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg
+      $ certify_arg)
 
 let anneal_cmd =
   let run bench arch size contexts limit seed =
@@ -329,7 +350,7 @@ let sweep_cmd =
     let doc = "Context counts to sweep (repeatable); default: 1 and 2." in
     Arg.(value & opt_all int [] & info [ "c"; "contexts" ] ~docv:"II" ~doc)
   in
-  let run jobs portfolio resume out table benchmarks archs contexts limit size =
+  let run jobs portfolio certify resume out table benchmarks archs contexts limit size =
     let contexts = if contexts = [] then [ 1; 2 ] else contexts in
     let grid = Sweep_job.paper_grid ~size ~contexts ~limit ~benchmarks ~archs () in
     let skip =
@@ -351,21 +372,44 @@ let sweep_cmd =
             (Sweep_job.to_string record.Sweep_record.job)
             record.Sweep_record.engine record.Sweep_record.total_seconds
     in
-    let _records, stats = Sweep_sched.run ~jobs ~portfolio ~skip ~on_event grid in
+    let records, stats = Sweep_sched.run ~jobs ~portfolio ~certify ~skip ~on_event grid in
     Sweep_store.close store;
     Printf.eprintf "sweep: %d ran, %d skipped (resume), %.1fs wall, journal %s\n%!"
       stats.Sweep_sched.ran stats.Sweep_sched.skipped stats.Sweep_sched.wall_seconds out;
-    if table then print_string (Sweep_grid.render (Sweep_store.load out))
+    if table then print_string (Sweep_grid.render (Sweep_store.load out));
+    if certify then begin
+      (* A certified sweep must leave no definitive verdict without
+         validated evidence; timeouts/errors are reported but are not
+         certification failures. *)
+      let uncertified =
+        List.filter
+          (fun (r : Sweep_record.t) ->
+            Sweep_record.definitive r && not r.Sweep_record.certified)
+          records
+      in
+      if uncertified <> [] then begin
+        List.iter
+          (fun (r : Sweep_record.t) ->
+            Printf.eprintf "uncertified verdict: %s %s\n%!"
+              (Sweep_job.to_string r.Sweep_record.job)
+              (Sweep_record.status_to_string r.Sweep_record.status))
+          uncertified;
+        Printf.eprintf "sweep: %d definitive verdict(s) without a validated certificate\n%!"
+          (List.length uncertified);
+        exit 4
+      end
+    end
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run the Table-2 feasibility grid (or a filtered subset) as a parallel sweep over \
           OCaml domains, journaling every outcome to JSONL.  Re-running with $(b,--resume) \
-          skips recorded jobs; $(b,--portfolio) races engines per job.")
+          skips recorded jobs; $(b,--portfolio) races engines per job; $(b,--certify) \
+          demands validated evidence for every definitive verdict and exits 4 otherwise.")
     Term.(
-      const run $ jobs_arg $ portfolio_arg $ resume_arg $ out_arg $ table_arg $ benchmarks_arg
-      $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
+      const run $ jobs_arg $ portfolio_arg $ certify_arg $ resume_arg $ out_arg $ table_arg
+      $ benchmarks_arg $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
 
 let main =
   let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in

@@ -1,5 +1,7 @@
 module Deadline = Cgra_util.Deadline
 module Solve = Cgra_ilp.Solve
+module Proof = Cgra_satoca.Proof
+module Drat = Cgra_satoca.Drat
 
 type info = {
   size : Formulation.size;
@@ -9,6 +11,8 @@ type info = {
   proven_optimal : bool;
   sat_calls : int;
   presolve_fixed : int;
+  certified : bool;
+  proof_steps : int;
 }
 
 type result = Mapped of Mapping.t * info | Infeasible of info | Timeout of info
@@ -62,7 +66,7 @@ let apply_warm_phases (f : Formulation.t) (m : Mapping.t) =
     m.Mapping.routes
 
 let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
-    ?(warm_start = 5.0) dfg mrrg =
+    ?(warm_start = 5.0) ?(certify = false) dfg mrrg =
   let attach d = match cancel with None -> d | Some f -> Deadline.with_cancellation d f in
   let deadline = Option.map attach deadline in
   let deadline =
@@ -81,8 +85,10 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
     | Anneal.Failed _ -> ()
   end;
   let build_seconds = Deadline.elapsed_of ~start:t0 in
-  let report = Solve.solve_report ?deadline ?engine f.Formulation.model in
-  let info ~objective_value ~proven_optimal =
+  let proof = if certify then Some (Proof.create ()) else None in
+  let report = Solve.solve_report ?deadline ?engine ?proof f.Formulation.model in
+  let proof_steps = match proof with Some p -> Proof.n_steps p | None -> 0 in
+  let info ~objective_value ~proven_optimal ~certified =
     {
       size = Formulation.size f;
       solve_seconds = report.Solve.solve_seconds;
@@ -91,11 +97,30 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
       proven_optimal;
       sat_calls = report.Solve.sat_calls;
       presolve_fixed = report.Solve.presolve_fixed;
+      certified;
+      proof_steps;
     }
   in
   match report.Solve.outcome with
-  | Solve.Infeasible -> Infeasible (info ~objective_value:None ~proven_optimal:true)
-  | Solve.Timeout -> Timeout (info ~objective_value:None ~proven_optimal:false)
+  | Solve.Infeasible ->
+      (* A certified infeasibility must carry a complete DRAT refutation
+         that the independent checker accepts — the negative-verdict
+         twin of the Check.run pass below. *)
+      let certified =
+        match proof with
+        | None -> false
+        | Some p ->
+            Proof.has_empty_clause p
+            &&
+            (match Drat.check p with
+            | Drat.Valid -> true
+            | Drat.Invalid msg ->
+                failwith
+                  (Printf.sprintf
+                     "Ilp_mapper: solver produced an invalid DRAT certificate (bug): %s" msg))
+      in
+      Infeasible (info ~objective_value:None ~proven_optimal:true ~certified)
+  | Solve.Timeout -> Timeout (info ~objective_value:None ~proven_optimal:false ~certified:false)
   | Solve.Optimal (assign, obj) | Solve.Feasible (assign, obj) ->
       let proven_optimal =
         match report.Solve.outcome with Solve.Optimal _ -> true | _ -> false
@@ -110,7 +135,9 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
       let objective_value =
         match objective with Formulation.Feasibility -> None | _ -> Some obj
       in
-      Mapped (mapping, info ~objective_value ~proven_optimal)
+      (* Check.run just accepted the mapping: the positive verdict is
+         certified by construction, whether or not proof logging ran. *)
+      Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true)
 
 let result_feasible = function Mapped _ -> true | Infeasible _ | Timeout _ -> false
 

@@ -16,6 +16,12 @@ type info = {
   proven_optimal : bool;
   sat_calls : int;               (** SAT invocations; 0 for non-SAT engines *)
   presolve_fixed : int;          (** variables eliminated by presolve *)
+  certified : bool;
+      (** the verdict carries validated evidence: a {!Check}-accepted
+          mapping for [Mapped], a {!Cgra_satoca.Drat}-validated
+          refutation for a certified [Infeasible]; always [false] for
+          [Timeout] and for uncertified [Infeasible] runs *)
+  proof_steps : int;             (** DRAT derivation steps logged; 0 unless certifying *)
 }
 
 type result =
@@ -30,6 +36,7 @@ val map :
   ?cancel:bool Atomic.t ->
   ?prune:bool ->
   ?warm_start:float ->
+  ?certify:bool ->
   Dfg.t ->
   Mrrg.t ->
   result
@@ -55,8 +62,18 @@ val map :
     exact engine's variable phases — the standard embedded-heuristic
     warm start of production MIP solvers.  Completeness is unaffected:
     the answer is still decided by the exact engine.
+
+    [certify] (default [false]) makes an [Infeasible] verdict carry a
+    DRAT refutation, independently re-validated by
+    {!Cgra_satoca.Drat.check} before the call returns; presolve is
+    bypassed for the certified solve and the B&B engine cross-certifies
+    through a proof-logging SAT run (see {!Cgra_ilp.Solve.solve}).
+    [info.certified] reports whether the returned verdict carries
+    validated evidence; a certificate cut short by the deadline yields
+    [certified = false], not a failure.
     @raise Failure if the solver returns an assignment the independent
-    checker rejects (this would be a bug, not an input error). *)
+    checker rejects, or a DRAT certificate the independent checker
+    refutes (either would be a bug, not an input error). *)
 
 val result_feasible : result -> bool
 val pp_result : Format.formatter -> result -> unit

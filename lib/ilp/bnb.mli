@@ -3,7 +3,12 @@
     An alternative complete engine, independent of the SAT path, used
     to cross-check results and to solve small optimisation models
     directly.  Propagates row bounds after every decision and prunes on
-    the objective's optimistic completion. *)
+    the objective's optimistic completion.
+
+    Its inferences are arithmetic (bound propagation), not clausal, so
+    this engine cannot emit DRAT steps itself; certified runs
+    cross-check an [Infeasible] answer with a proof-logging SAT
+    refutation at the {!Solve} layer. *)
 
 type outcome =
   | Optimal of bool array * int   (** proven optimal assignment, objective value *)

@@ -52,8 +52,9 @@ let encode_row solver (row : Model.row) =
         encode_le solver (List.map (fun (c, v) -> (-c, v)) row.terms) (-row.rhs)
       end
 
-let encode model =
+let encode ?proof model =
   let solver = Solver.create () in
+  (match proof with Some _ -> Solver.set_proof solver proof | None -> ());
   ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
   for v = 0 to Model.nvars model - 1 do
     let p = Model.branch_priority model v in

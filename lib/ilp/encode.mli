@@ -14,9 +14,12 @@ type t = {
   objective_offset : int;
 }
 
-val encode : Model.t -> t
+val encode : ?proof:Cgra_satoca.Proof.t -> Model.t -> t
 (** Build a solver containing the full model.  If a row is trivially
-    unsatisfiable the solver is already in the [not ok] state. *)
+    unsatisfiable the solver is already in the [not ok] state.  When
+    [proof] is given it is attached before any clause is added, so the
+    trace's input set is exactly the clausified model (plus any bound
+    clauses added later by the descent loop). *)
 
 val assignment : t -> Model.t -> bool array
 (** Read back the model-variable assignment after a [Sat] answer. *)

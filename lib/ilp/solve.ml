@@ -25,8 +25,8 @@ let pp_outcome fmt = function
 
 (* ---------------- SAT-backed engine ---------------- *)
 
-let solve_sat ~deadline model sat_calls =
-  let enc = Encode.encode model in
+let solve_sat ?proof ~deadline model sat_calls =
+  let enc = Encode.encode ?proof model in
   let solver = enc.Encode.solver in
   incr sat_calls;
   match Solver.solve ~deadline solver with
@@ -111,28 +111,54 @@ let lift_outcome ~original p outcome =
       | Infeasible -> Infeasible
       | Timeout -> Timeout)
 
-let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve = true) model =
+(* Non-clausal engines (B&B, brute force) cannot emit DRAT inferences,
+   so an [Infeasible] answer is cross-certified: a proof-logging SAT
+   refutation of the *original* model (no presolve) is produced, and a
+   disagreement between the engines is a bug worth crashing on. *)
+let cross_certify ~deadline ~proof model sat_calls =
+  let enc = Encode.encode ~proof model in
+  incr sat_calls;
+  match Solver.solve ~deadline enc.Encode.solver with
+  | Solver.Unsat -> ()
+  | Solver.Sat ->
+      failwith
+        "Solve: certification refuted the engine — the SAT solver found the \
+         supposedly infeasible model satisfiable"
+  | Solver.Unknown -> () (* deadline expired: the certificate stays incomplete *)
+
+let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve = true) ?proof
+    model =
   let start = Deadline.now () in
   let sat_calls = ref 0 in
   let presolve_fixed = ref 0 in
+  let certify_infeasible outcome =
+    (match (outcome, proof) with
+    | Infeasible, Some proof -> cross_certify ~deadline ~proof model sat_calls
+    | _ -> ());
+    outcome
+  in
   let outcome =
     match engine with
-    | Brute_force -> solve_brute model
+    | Brute_force -> certify_infeasible (solve_brute model)
     | Sat_backed ->
+        (* With a proof sink the certificate must refer to the model as
+           given, so presolve (which rewrites it) is bypassed. *)
+        let presolve = presolve && proof = None in
         with_presolve ~presolve model (fun reduced p ->
             (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
-            lift_outcome ~original:model p (solve_sat ~deadline reduced sat_calls))
+            lift_outcome ~original:model p (solve_sat ?proof ~deadline reduced sat_calls))
     | Branch_and_bound ->
-        with_presolve ~presolve model (fun reduced p ->
-            (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
-            let sub =
-              match Bnb.solve ~deadline reduced with
-              | Bnb.Optimal (a, obj) -> Optimal (a, obj)
-              | Bnb.Infeasible -> Infeasible
-              | Bnb.Timeout (Some (a, obj)) -> Feasible (a, obj)
-              | Bnb.Timeout None -> Timeout
-            in
-            lift_outcome ~original:model p sub)
+        certify_infeasible
+          (with_presolve ~presolve model (fun reduced p ->
+               (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
+               let sub =
+                 match Bnb.solve ~deadline reduced with
+                 | Bnb.Optimal (a, obj) -> Optimal (a, obj)
+                 | Bnb.Infeasible -> Infeasible
+                 | Bnb.Timeout (Some (a, obj)) -> Feasible (a, obj)
+                 | Bnb.Timeout None -> Timeout
+               in
+               lift_outcome ~original:model p sub))
   in
   {
     outcome;
@@ -141,5 +167,5 @@ let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve =
     presolve_fixed = !presolve_fixed;
   }
 
-let solve ?deadline ?engine ?presolve model =
-  (solve_report ?deadline ?engine ?presolve model).outcome
+let solve ?deadline ?engine ?presolve ?proof model =
+  (solve_report ?deadline ?engine ?presolve ?proof model).outcome

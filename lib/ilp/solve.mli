@@ -29,11 +29,35 @@ type report = {
   presolve_fixed : int;  (** variables eliminated by presolve *)
 }
 
-val solve : ?deadline:Cgra_util.Deadline.t -> ?engine:engine -> ?presolve:bool -> Model.t -> outcome
+val solve :
+  ?deadline:Cgra_util.Deadline.t ->
+  ?engine:engine ->
+  ?presolve:bool ->
+  ?proof:Cgra_satoca.Proof.t ->
+  Model.t ->
+  outcome
 (** Solve the model.  [presolve] defaults to [true] (ignored by
-    [Brute_force]). *)
+    [Brute_force]).
 
-val solve_report : ?deadline:Cgra_util.Deadline.t -> ?engine:engine -> ?presolve:bool -> Model.t -> report
+    When [proof] is supplied, an [Infeasible] answer leaves a complete
+    DRAT refutation of the clausified model in the trace, checkable
+    with {!Cgra_satoca.Drat.check}.  For [Sat_backed] the trace is
+    captured in-line (presolve is bypassed so the certificate refers to
+    the model as given; the descent loop's bound clauses join the trace
+    as further axioms, so the final UNSAT also certifies optimality of
+    the descent).  The non-clausal engines cross-certify: their
+    [Infeasible] answer triggers one proof-logging SAT refutation of
+    the same model, and an engine disagreement raises [Failure].  If a
+    deadline cuts certification short the trace simply lacks an empty
+    clause ({!Cgra_satoca.Proof.has_empty_clause} is [false]). *)
+
+val solve_report :
+  ?deadline:Cgra_util.Deadline.t ->
+  ?engine:engine ->
+  ?presolve:bool ->
+  ?proof:Cgra_satoca.Proof.t ->
+  Model.t ->
+  report
 (** Like {!solve} with timing and search statistics. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,3 +1,23 @@
+(* DIMACS allows any blank separator, not just single spaces: real
+   files mix tabs, runs of spaces and CRLF line endings. *)
+let split_ws s =
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | '\r' | '\012' -> flush ()
+      | _ -> Buffer.add_char buf ch)
+    s;
+  flush ();
+  List.rev !out
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let nvars = ref (-1) in
@@ -18,17 +38,14 @@ let parse text =
         let line = String.trim line in
         if line = "" || line.[0] = 'c' then ()
         else if line.[0] = 'p' then begin
-          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          match split_ws line with
           | [ "p"; "cnf"; nv; _nc ] -> (
               match int_of_string_opt nv with
               | Some n -> nvars := n
               | None -> error := Some "bad p-line")
           | _ -> error := Some "bad p-line"
         end
-        else
-          String.split_on_char ' ' line
-          |> List.filter (fun s -> s <> "")
-          |> List.iter handle_token)
+        else List.iter handle_token (split_ws line))
     lines;
   match !error with
   | Some e -> Error e

@@ -1,0 +1,294 @@
+module Veci = Cgra_util.Veci
+
+type verdict = Valid | Invalid of string
+
+type clause = {
+  lits : int array;        (* mutated: watched literals kept at 0 and 1 *)
+  key : int list;          (* sorted literals, for deletion matching *)
+  mutable deleted : bool;
+  watched : bool;          (* false for satisfied-at-install / unit clauses *)
+}
+
+type state = {
+  mutable assigns : Bytes.t;     (* var -> 'u' | 't' | 'f' *)
+  mutable watches : Veci.t array; (* true literal -> indices of clauses watching its negation *)
+  mutable clauses : clause array;
+  mutable n_clauses : int;
+  by_key : (int list, int list ref) Hashtbl.t;
+  trail : Veci.t;
+  mutable head : int;
+  mutable refuted : bool;
+}
+
+let create () =
+  {
+    assigns = Bytes.make 0 'u';
+    watches = [||];
+    clauses = [||];
+    n_clauses = 0;
+    by_key = Hashtbl.create 64;
+    trail = Veci.create ();
+    head = 0;
+    refuted = false;
+  }
+
+let nvars st = Bytes.length st.assigns
+
+let ensure_var st v =
+  if v >= nvars st then begin
+    let n = max (v + 1) (max 16 (2 * nvars st)) in
+    let assigns = Bytes.make n 'u' in
+    Bytes.blit st.assigns 0 assigns 0 (nvars st);
+    let watches = Array.init (2 * n) (fun l ->
+        if l < Array.length st.watches then st.watches.(l) else Veci.create ())
+    in
+    st.assigns <- assigns;
+    st.watches <- watches
+  end
+
+(* 1 = true, -1 = false, 0 = unassigned *)
+let lit_val st l =
+  match Bytes.get st.assigns (Lit.var l) with
+  | 'u' -> 0
+  | 't' -> if Lit.sign l then 1 else -1
+  | _ -> if Lit.sign l then -1 else 1
+
+let enqueue st l =
+  Bytes.set st.assigns (Lit.var l) (if Lit.sign l then 't' else 'f');
+  Veci.push st.trail l
+
+(* Two-watched-literal unit propagation from the current queue head.
+   Returns [true] on conflict, leaving the trail intact so the caller
+   can backtrack (assumption checks) or latch refutation (root). *)
+let propagate st =
+  let conflict = ref false in
+  while (not !conflict) && st.head < Veci.size st.trail do
+    let p = Veci.get st.trail st.head in
+    st.head <- st.head + 1;
+    let wl = st.watches.(p) in
+    let n = Veci.size wl in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Veci.get wl !i in
+      incr i;
+      let c = st.clauses.(ci) in
+      if not c.deleted then begin
+        let lits = c.lits in
+        let false_lit = Lit.negate p in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if lit_val st lits.(0) = 1 then begin
+          Veci.set wl !keep ci;
+          incr keep
+        end
+        else begin
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_val st lits.(!k) = -1 do incr k done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            Veci.push st.watches.(Lit.negate lits.(1)) ci
+          end
+          else begin
+            Veci.set wl !keep ci;
+            incr keep;
+            if lit_val st lits.(0) = -1 then begin
+              (* conflict: keep the rest of the watch list untouched *)
+              while !i < n do
+                Veci.set wl !keep (Veci.get wl !i);
+                incr keep;
+                incr i
+              done;
+              conflict := true
+            end
+            else if lit_val st lits.(0) = 0 then enqueue st lits.(0)
+          end
+        end
+      end
+    done;
+    Veci.shrink wl !keep
+  done;
+  !conflict
+
+let backtrack st mark =
+  while Veci.size st.trail > mark do
+    let l = Veci.pop st.trail in
+    Bytes.set st.assigns (Lit.var l) 'u'
+  done;
+  st.head <- mark
+
+(* Assume the negation of [lits] on top of the root assignment and
+   propagate.  Returns [true] when a conflict arises, i.e. the clause
+   is RUP with respect to the active database. *)
+let rup st lits =
+  if st.refuted then true
+  else begin
+    let mark = Veci.size st.trail in
+    let sat = ref false in
+    List.iter
+      (fun l ->
+        if not !sat then
+          match lit_val st l with
+          | 1 -> sat := true (* l true at root: ~C contradicts the root *)
+          | -1 -> ()
+          | _ -> enqueue st (Lit.negate l))
+      lits;
+    let conflict = !sat || propagate st in
+    backtrack st mark;
+    conflict
+  end
+
+let sorted_key lits = List.sort_uniq compare lits
+
+let register_key st key ci =
+  match Hashtbl.find_opt st.by_key key with
+  | Some r -> r := ci :: !r
+  | None -> Hashtbl.add st.by_key key (ref [ ci ])
+
+let push_clause st c =
+  if st.n_clauses = Array.length st.clauses then begin
+    let cap = max 64 (2 * Array.length st.clauses) in
+    let bigger = Array.make cap c in
+    Array.blit st.clauses 0 bigger 0 st.n_clauses;
+    st.clauses <- bigger
+  end;
+  st.clauses.(st.n_clauses) <- c;
+  st.n_clauses <- st.n_clauses + 1;
+  st.n_clauses - 1
+
+(* Install an accepted clause into the database. *)
+let install st lits =
+  if not st.refuted then begin
+    List.iter (fun l -> ensure_var st (Lit.var l)) lits;
+    match lits with
+    | [] -> st.refuted <- true
+    | _ ->
+        let arr = Array.of_list lits in
+        (* move up to two non-false literals to the front *)
+        let len = Array.length arr in
+        let slot = ref 0 in
+        (try
+           for i = 0 to len - 1 do
+             if lit_val st arr.(i) <> -1 then begin
+               let tmp = arr.(!slot) in
+               arr.(!slot) <- arr.(i);
+               arr.(i) <- tmp;
+               incr slot;
+               if !slot = 2 then raise Exit
+             end
+           done
+         with Exit -> ());
+        let key = sorted_key lits in
+        if !slot = 0 then begin
+          (* all literals false at root: immediate contradiction *)
+          let ci = push_clause st { lits = arr; key; deleted = false; watched = false } in
+          register_key st key ci;
+          st.refuted <- true
+        end
+        else if !slot = 1 || lit_val st arr.(0) = 1 || lit_val st arr.(1) = 1 then begin
+          (* unit or already satisfied: roots only grow, so no watches
+             are ever needed for this clause *)
+          let ci = push_clause st { lits = arr; key; deleted = false; watched = false } in
+          register_key st key ci;
+          if lit_val st arr.(0) = 0 then begin
+            enqueue st arr.(0);
+            if propagate st then st.refuted <- true
+          end
+        end
+        else begin
+          let ci = push_clause st { lits = arr; key; deleted = false; watched = true } in
+          register_key st key ci;
+          Veci.push st.watches.(Lit.negate arr.(0)) ci;
+          Veci.push st.watches.(Lit.negate arr.(1)) ci
+        end
+  end
+
+let delete st lits =
+  if not st.refuted then
+    match lits with
+    | [] | [ _ ] -> () (* drat-trim convention: ignore unit deletions *)
+    | _ -> (
+        let key = sorted_key lits in
+        match Hashtbl.find_opt st.by_key key with
+        | None -> () (* deleting an unknown clause is a no-op *)
+        | Some r -> (
+            let rec pick = function
+              | [] -> ()
+              | ci :: rest ->
+                  let c = st.clauses.(ci) in
+                  if c.deleted then pick rest
+                  else begin
+                    (* lazy detach: propagation skips deleted clauses *)
+                    c.deleted <- true;
+                    r := List.filter (fun i -> i <> ci) !r
+                  end
+            in
+            pick !r))
+
+let pp_clause lits =
+  match lits with
+  | [] -> "<empty>"
+  | _ -> String.concat " " (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits)
+
+(* RAT on the first literal: every resolvent against a clause holding
+   the negated pivot must itself be RUP. *)
+let rat st lits =
+  match lits with
+  | [] -> false
+  | pivot :: _ ->
+      let neg_pivot = Lit.negate pivot in
+      let ok = ref true in
+      (try
+         for ci = 0 to st.n_clauses - 1 do
+           let c = st.clauses.(ci) in
+           if (not c.deleted) && List.mem neg_pivot c.key then begin
+             let resolvent =
+               lits @ List.filter (fun l -> l <> neg_pivot) (Array.to_list c.lits)
+             in
+             if not (rup st resolvent) then begin
+               ok := false;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      !ok
+
+let check_events ?(require_empty = true) events =
+  let st = create () in
+  let bad = ref None in
+  let step = ref 0 in
+  List.iter
+    (fun ev ->
+      incr step;
+      if !bad = None && not st.refuted then
+        match ev with
+        | Proof.Input lits ->
+            List.iter (fun l -> ensure_var st (Lit.var l)) lits;
+            install st lits
+        | Proof.Add lits ->
+            List.iter (fun l -> ensure_var st (Lit.var l)) lits;
+            if rup st lits || rat st lits then install st lits
+            else
+              bad :=
+                Some
+                  (Printf.sprintf "step %d: clause [%s] is neither RUP nor RAT"
+                     !step (pp_clause lits))
+        | Proof.Delete lits ->
+            List.iter (fun l -> ensure_var st (Lit.var l)) lits;
+            delete st lits)
+    events;
+  match !bad with
+  | Some msg -> Invalid msg
+  | None ->
+      if require_empty && not st.refuted then
+        Invalid "refutation incomplete: no contradiction was derived"
+      else Valid
+
+let check ?require_empty proof = check_events ?require_empty (Proof.events proof)
+
+let errors = function Valid -> None | Invalid msg -> Some msg

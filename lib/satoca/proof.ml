@@ -1,0 +1,67 @@
+type event =
+  | Input of Lit.t list
+  | Add of Lit.t list
+  | Delete of Lit.t list
+
+type t = {
+  mutable rev_events : event list;  (* newest first *)
+  mutable n_inputs : int;
+  mutable n_steps : int;
+  mutable has_empty : bool;
+  mutable max_var : int;
+}
+
+let create () =
+  { rev_events = []; n_inputs = 0; n_steps = 0; has_empty = false; max_var = -1 }
+
+let note_lits t lits =
+  List.iter (fun l -> if Lit.var l > t.max_var then t.max_var <- Lit.var l) lits
+
+let log_input t lits =
+  note_lits t lits;
+  if lits = [] then t.has_empty <- true;
+  t.n_inputs <- t.n_inputs + 1;
+  t.rev_events <- Input lits :: t.rev_events
+
+let log_add t lits =
+  note_lits t lits;
+  if lits = [] then t.has_empty <- true;
+  t.n_steps <- t.n_steps + 1;
+  t.rev_events <- Add lits :: t.rev_events
+
+let log_delete t lits =
+  t.n_steps <- t.n_steps + 1;
+  t.rev_events <- Delete lits :: t.rev_events
+
+let events t = List.rev t.rev_events
+let n_inputs t = t.n_inputs
+let n_steps t = t.n_steps
+let has_empty_clause t = t.has_empty
+let max_var t = t.max_var
+
+let cnf t =
+  List.filter_map (function Input lits -> Some lits | _ -> None) (events t)
+
+let clause_line buf lits =
+  List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l)); Buffer.add_char buf ' ') lits;
+  Buffer.add_string buf "0\n"
+
+let to_dimacs t =
+  let clauses = cnf t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (t.max_var + 1) (List.length clauses));
+  List.iter (clause_line buf) clauses;
+  Buffer.contents buf
+
+let to_drat t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Input _ -> ()
+      | Add lits -> clause_line buf lits
+      | Delete lits ->
+          Buffer.add_string buf "d ";
+          clause_line buf lits)
+    (events t);
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** DRAT proof traces: the evidence behind an [Unsat] answer.
+
+    A trace records, in order, every clause that entered the solver
+    ([Input]), every clause the solver derived ([Add] — learnt clauses,
+    root-strengthened inputs and the final empty clause) and every
+    derived clause it discarded ([Delete]).  The input events are the
+    CNF being refuted; the add/delete events are a standard DRAT
+    derivation of the empty clause from it, checkable by {!Drat} or by
+    any external DRAT checker via {!to_dimacs}/{!to_drat}.
+
+    Because the incremental solving style of the ILP layer adds clauses
+    {e between} solve calls (objective bounds, totalizer layers), inputs
+    and derivation steps interleave.  The trace stays sound under that
+    interleaving: each [Add] is checked only against the clauses logged
+    before it, which are a subset of the final CNF, so every accepted
+    step is entailed by the full input set.
+
+    A trace is owned by one solver; attach it with
+    {!Solver.set_proof} {e before} adding clauses.  Logging is append
+    only and never inspects solver state. *)
+
+type event =
+  | Input of Lit.t list   (** axiom: part of the CNF under refutation *)
+  | Add of Lit.t list     (** derived clause; must be RUP (or RAT) *)
+  | Delete of Lit.t list  (** clause dropped from the active set *)
+
+type t
+
+val create : unit -> t
+
+val log_input : t -> Lit.t list -> unit
+val log_add : t -> Lit.t list -> unit
+val log_delete : t -> Lit.t list -> unit
+
+val events : t -> event list
+(** All events in logging order. *)
+
+val n_inputs : t -> int
+val n_steps : t -> int
+(** Derivation steps ([Add] + [Delete] events). *)
+
+val has_empty_clause : t -> bool
+(** True once an empty [Input] or [Add] clause was logged — the trace
+    claims a refutation.  A trace without one proves nothing (the
+    solve ended [Sat]/[Unknown], or certification was interrupted). *)
+
+val cnf : t -> Lit.t list list
+(** The input clauses, in order. *)
+
+val max_var : t -> int
+(** Largest variable index mentioned anywhere in the trace; [-1] if
+    none. *)
+
+val to_dimacs : t -> string
+(** The input clauses as a DIMACS CNF body. *)
+
+val to_drat : t -> string
+(** The derivation in standard textual DRAT ([d]-prefixed deletions,
+    0-terminated DIMACS literals), consumable by external checkers. *)

@@ -63,6 +63,7 @@ type t = {
   mutable restarts : int;
   mutable rng_state : int64;
   mutable random_freq : float;  (* fraction of random decisions *)
+  mutable proof : Proof.t option;  (* DRAT sink; None = no logging *)
 }
 
 let create () =
@@ -95,7 +96,10 @@ let create () =
     restarts = 0;
     rng_state = 0x9E3779B97F4A7C15L;
     random_freq = 0.02;
+    proof = None;
   }
+
+let set_proof t proof = t.proof <- proof
 
 (* SplitMix64 step, for randomised decisions *)
 let next_random t =
@@ -462,18 +466,29 @@ let add_clause t lits =
       (fun l ->
         if l lsr 1 >= t.nvars then invalid_arg "Solver.add_clause: unknown variable")
       lits;
+    (* the normalised clause is logically the caller's clause; log it as
+       a proof axiom before any root-level strengthening *)
+    (match t.proof with Some p -> Proof.log_input p lits | None -> ());
     let tautology =
       List.exists (fun l -> List.mem (Lit.negate l) lits) lits
       || List.exists (fun l -> lit_val t l = 1) lits
     in
     if not tautology then begin
-      let lits = List.filter (fun l -> lit_val t l <> 0) lits in
-      match lits with
+      let kept = List.filter (fun l -> lit_val t l <> 0) lits in
+      (* dropping root-false literals is a unit-propagation inference;
+         the strengthened clause is a derived (RUP) step *)
+      (match t.proof with
+      | Some p when kept <> lits -> Proof.log_add p kept
+      | _ -> ());
+      match kept with
       | [] -> t.ok <- false
       | [ l ] ->
           enqueue t l (-1);
-          if propagate t >= 0 then t.ok <- false
-      | _ ->
+          if propagate t >= 0 then begin
+            (match t.proof with Some p -> Proof.log_add p [] | None -> ());
+            t.ok <- false
+          end
+      | lits ->
           let arr = Array.of_list lits in
           let c = { lits = arr; activity = 0.; learnt = false; deleted = false } in
           Vec.push t.clauses c;
@@ -564,6 +579,9 @@ let analyze t confl learnt_out =
 
 let record_learnt t learnt =
   let n = Veci.size learnt in
+  (match t.proof with
+  | Some p -> Proof.log_add p (List.init n (fun i -> Veci.get learnt i))
+  | None -> ());
   if n = 1 then begin
     enqueue t (Veci.get learnt 0) (-1)
   end
@@ -608,6 +626,9 @@ let reduce_db t =
     let ci, c = arr.(i) in
     detach t ci;
     c.deleted <- true;
+    (match t.proof with
+    | Some p -> Proof.log_delete p (Array.to_list c.lits)
+    | None -> ());
     t.n_learnt <- t.n_learnt - 1
   done
 
@@ -665,6 +686,7 @@ let solve ?(deadline = Deadline.none) t =
            t.conflicts <- t.conflicts + 1;
            decr conflicts_left;
            if decision_level t = 0 then begin
+             (match t.proof with Some p -> Proof.log_add p [] | None -> ());
              t.ok <- false;
              result := Some Unsat
            end

@@ -52,6 +52,17 @@ val add_clause : t -> Lit.t list -> unit
 val ok : t -> bool
 (** [false] once a root-level conflict has been established. *)
 
+val set_proof : t -> Proof.t option -> unit
+(** Attach (or detach) a DRAT proof sink.  While attached, every clause
+    added is logged as a proof axiom and every inference the solver
+    makes — root-level strengthening, learnt clauses, learnt-clause
+    deletions and the final empty clause of an [Unsat] answer — is
+    logged as a derivation step, so an [Unsat] verdict leaves a
+    certificate that {!Drat.check} (or any external DRAT checker)
+    validates against the logged CNF.  Attach {e before} the first
+    [add_clause]; logging costs one [option] test per event when
+    disabled. *)
+
 val solve : ?deadline:Cgra_util.Deadline.t -> t -> result
 (** Decide the current clause set.  After [Sat], {!value} reads the
     model; the model remains valid until the next [add_clause] or

@@ -9,6 +9,7 @@ type t = {
   build_seconds : float;
   sat_calls : int;
   presolve_fixed : int;
+  certified : bool;
 }
 
 let error job msg =
@@ -21,6 +22,7 @@ let error job msg =
     build_seconds = 0.0;
     sat_calls = 0;
     presolve_fixed = 0;
+    certified = false;
   }
 
 let status_to_string = function
@@ -46,6 +48,7 @@ let to_json r =
       ("build_seconds", Jsonl.Num r.build_seconds);
       ("sat_calls", Jsonl.Num (float_of_int r.sat_calls));
       ("presolve_fixed", Jsonl.Num (float_of_int r.presolve_fixed));
+      ("certified", Jsonl.Bool r.certified);
     ]
   in
   let extra = match r.status with Error msg -> [ ("message", Jsonl.Str msg) ] | _ -> [] in
@@ -83,6 +86,10 @@ let of_json j =
             build_seconds = Option.value ~default:0.0 (num "build_seconds");
             sat_calls = Option.value ~default:0 (int_field "sat_calls");
             presolve_fixed = Option.value ~default:0 (int_field "presolve_fixed");
+            (* absent in pre-certification journals: read as uncertified *)
+            certified =
+              Option.value ~default:false
+                (Option.bind (Jsonl.member "certified" j) Jsonl.to_bool);
           })
         status
   | _ -> Stdlib.Error "missing required field (benchmark/arch/size/contexts/status)"

@@ -21,6 +21,11 @@ type t = {
   build_seconds : float;  (** winning engine's formulation-build time *)
   sat_calls : int;        (** winning engine's SAT invocations *)
   presolve_fixed : int;   (** variables eliminated by presolve *)
+  certified : bool;
+      (** the verdict carries independently validated evidence
+          ({!Cgra_core.Check} for [Feasible], a checked DRAT refutation
+          for [Infeasible]); [false] for timeouts, errors, uncertified
+          sweeps and records from pre-certification journals *)
 }
 
 val error : Job.t -> string -> t

@@ -57,42 +57,26 @@ let prepare (job : Job.t) =
 let deadline_of (job : Job.t) =
   if job.Job.limit <= 0.0 then Deadline.none else Deadline.after ~seconds:job.Job.limit
 
-let record_of_result (job : Job.t) ~engine ~total_seconds = function
-  | IM.Mapped (_, info) ->
-      {
-        Record.job;
-        status = Record.Feasible;
-        engine;
-        total_seconds;
-        solve_seconds = info.IM.solve_seconds;
-        build_seconds = info.IM.build_seconds;
-        sat_calls = info.IM.sat_calls;
-        presolve_fixed = info.IM.presolve_fixed;
-      }
-  | IM.Infeasible info ->
-      {
-        Record.job;
-        status = Record.Infeasible;
-        engine;
-        total_seconds;
-        solve_seconds = info.IM.solve_seconds;
-        build_seconds = info.IM.build_seconds;
-        sat_calls = info.IM.sat_calls;
-        presolve_fixed = info.IM.presolve_fixed;
-      }
-  | IM.Timeout info ->
-      {
-        Record.job;
-        status = Record.Timeout;
-        engine;
-        total_seconds;
-        solve_seconds = info.IM.solve_seconds;
-        build_seconds = info.IM.build_seconds;
-        sat_calls = info.IM.sat_calls;
-        presolve_fixed = info.IM.presolve_fixed;
-      }
+let record_of_result (job : Job.t) ~engine ~total_seconds result =
+  let status, (info : IM.info) =
+    match result with
+    | IM.Mapped (_, info) -> (Record.Feasible, info)
+    | IM.Infeasible info -> (Record.Infeasible, info)
+    | IM.Timeout info -> (Record.Timeout, info)
+  in
+  {
+    Record.job;
+    status;
+    engine;
+    total_seconds;
+    solve_seconds = info.IM.solve_seconds;
+    build_seconds = info.IM.build_seconds;
+    sat_calls = info.IM.sat_calls;
+    presolve_fixed = info.IM.presolve_fixed;
+    certified = info.IM.certified;
+  }
 
-let run_variant ?cancel (variant : variant) (job : Job.t) =
+let run_variant ?cancel ?certify (variant : variant) (job : Job.t) =
   let t0 = Deadline.now () in
   match prepare job with
   | Error msg -> Record.error job msg
@@ -103,7 +87,7 @@ let run_variant ?cancel (variant : variant) (job : Job.t) =
       in
       match
         IM.map ~objective:Formulation.Feasibility ~engine:variant.engine
-          ~deadline:(deadline_of job) ?cancel ~warm_start dfg mrrg
+          ~deadline:(deadline_of job) ?cancel ~warm_start ?certify dfg mrrg
       with
       | result ->
           record_of_result job ~engine:variant.name
@@ -114,4 +98,4 @@ let run_variant ?cancel (variant : variant) (job : Job.t) =
             engine = variant.name;
           })
 
-let run ?cancel (job : Job.t) = run_variant ?cancel default_variant job
+let run ?cancel ?certify (job : Job.t) = run_variant ?cancel ?certify default_variant job

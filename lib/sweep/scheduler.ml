@@ -6,8 +6,8 @@ type stats = { ran : int; skipped : int; wall_seconds : float }
 
 module Deadline = Cgra_util.Deadline
 
-let run ?(jobs = 1) ?(portfolio = false) ?(skip = fun _ -> false) ?(on_event = fun _ -> ())
-    job_list =
+let run ?(jobs = 1) ?(portfolio = false) ?certify ?(skip = fun _ -> false)
+    ?(on_event = fun _ -> ()) job_list =
   let t0 = Deadline.now () in
   let all = Array.of_list job_list in
   let keep = Array.map (fun j -> not (skip j)) all in
@@ -21,7 +21,7 @@ let run ?(jobs = 1) ?(portfolio = false) ?(skip = fun _ -> false) ?(on_event = f
     Fun.protect ~finally:(fun () -> Mutex.unlock event_mutex) (fun () -> try on_event e with _ -> ())
   in
   let execute job =
-    try if portfolio then Portfolio.race job else Runner.run job
+    try if portfolio then Portfolio.race ?certify job else Runner.run ?certify job
     with e -> Record.error job (Printexc.to_string e)
   in
   let worker w =

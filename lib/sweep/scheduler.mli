@@ -24,6 +24,7 @@ type stats = {
 val run :
   ?jobs:int ->
   ?portfolio:bool ->
+  ?certify:bool ->
   ?skip:(Job.t -> bool) ->
   ?on_event:(event -> unit) ->
   Job.t list ->
@@ -32,5 +33,7 @@ val run :
     workers (the calling domain plus [jobs - 1] spawned ones; default
     1) and returns their records in input order.  [portfolio] races
     {!Runner.portfolio_variants} per job instead of the single default
-    engine.  [skip] implements resume: skipped jobs produce no record
-    here (their records already live in the journal). *)
+    engine.  [certify] requests DRAT-certified verdicts from every job
+    (see {!Runner.run_variant}).  [skip] implements resume: skipped
+    jobs produce no record here (their records already live in the
+    journal). *)

@@ -426,6 +426,88 @@ let test_check_detects_shared_node () =
       Alcotest.(check bool) "sharing rejected" false (Check.is_legal { m with Mapping.routes })
   | _ -> Alcotest.fail "expected two routes with distinct values"
 
+let errors_of m = match Check.run m with Ok () -> [] | Error e -> e
+
+let has_err needle errs = List.exists (fun e -> Astring.String.is_infix ~affix:needle e) errs
+
+let test_check_double_booked_fu () =
+  let m = mapped_tiny () in
+  (* move y onto the functional unit hosting x: two ops, one FU *)
+  let x = Option.get (Dfg.find m.Mapping.dfg "x") in
+  let y = Option.get (Dfg.find m.Mapping.dfg "y") in
+  let px = Option.get (Mapping.placement_of m x.Dfg.id) in
+  let placement =
+    List.map (fun (q, p) -> if q = y.Dfg.id then (q, px) else (q, p)) m.Mapping.placement
+  in
+  let errs = errors_of { m with Mapping.placement } in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "diagnostic names the double booking" true (has_err "hosts both" errs)
+
+let test_check_dropped_route_edge_diagnostic () =
+  let m = mapped_tiny () in
+  let routes =
+    List.map
+      (fun (r : Mapping.route) -> { r with Mapping.nodes = List.tl r.Mapping.nodes })
+      m.Mapping.routes
+  in
+  let errs = errors_of { m with Mapping.routes } in
+  Alcotest.(check bool) "rejected" true (errs <> []);
+  Alcotest.(check bool) "diagnostic explains the break" true
+    (has_err "disconnected" errs || has_err "does not start" errs
+    || has_err "does not include the sink port" errs)
+
+let test_check_shared_node_diagnostic () =
+  let m = mapped_tiny () in
+  match m.Mapping.routes with
+  | r1 :: r2 :: rest when r1.Mapping.value_producer <> r2.Mapping.value_producer ->
+      let stolen = List.hd r1.Mapping.nodes in
+      let routes = r1 :: { r2 with Mapping.nodes = stolen :: r2.Mapping.nodes } :: rest in
+      let errs = errors_of { m with Mapping.routes } in
+      Alcotest.(check bool) "diagnostic names both values" true
+        (has_err "carries values of both" errs)
+  | _ -> Alcotest.fail "expected two routes with distinct values"
+
+(* ---------------- certified verdicts ---------------- *)
+
+let test_map_certify_infeasible () =
+  (* capacity infeasibility: the verdict must carry a checked DRAT proof *)
+  let dfg = Benchmarks.conv_2x2_f () in
+  let mrrg = mrrg_of ~ii:1 2 in
+  match IM.map ~warm_start:0.0 ~certify:true dfg mrrg with
+  | IM.Infeasible info ->
+      Alcotest.(check bool) "certified" true info.IM.certified;
+      Alcotest.(check bool) "nontrivial proof" true (info.IM.proof_steps > 0)
+  | r -> Alcotest.failf "expected infeasible, got %a" IM.pp_result r
+
+let test_map_certify_feasible () =
+  let dfg = tiny_add_dfg () in
+  let mrrg = mrrg_of ~ii:1 1 in
+  match IM.map ~warm_start:0.0 ~certify:true dfg mrrg with
+  | IM.Mapped (m, info) ->
+      Alcotest.(check bool) "legal" true (Check.is_legal m);
+      Alcotest.(check bool) "certified via the checker" true info.IM.certified
+  | r -> Alcotest.failf "expected mapping, got %a" IM.pp_result r
+
+let test_map_infeasible_uncertified_by_default () =
+  let dfg = Benchmarks.conv_2x2_f () in
+  let mrrg = mrrg_of ~ii:1 2 in
+  match IM.map ~warm_start:0.0 dfg mrrg with
+  | IM.Infeasible info ->
+      Alcotest.(check bool) "no certificate without --certify" false info.IM.certified;
+      Alcotest.(check int) "no proof steps logged" 0 info.IM.proof_steps
+  | r -> Alcotest.failf "expected infeasible, got %a" IM.pp_result r
+
+let test_map_certify_bnb_cross_certifies () =
+  (* the B&B engine cannot emit DRAT itself; Solve must cross-certify
+     its Infeasible answer through a proof-logging SAT refutation *)
+  let dfg = Benchmarks.conv_2x2_f () in
+  let mrrg = mrrg_of ~ii:1 2 in
+  match IM.map ~engine:Solve.Branch_and_bound ~warm_start:0.0 ~certify:true dfg mrrg with
+  | IM.Infeasible info ->
+      Alcotest.(check bool) "cross-certified" true info.IM.certified;
+      Alcotest.(check bool) "proof logged by the SAT refutation" true (info.IM.proof_steps > 0)
+  | r -> Alcotest.failf "expected infeasible, got %a" IM.pp_result r
+
 (* ---------------- annealing mapper ---------------- *)
 
 let test_anneal_maps_tiny () =
@@ -591,6 +673,18 @@ let suites =
         Alcotest.test_case "detects illegal host" `Quick test_check_detects_bad_fu;
         Alcotest.test_case "detects broken route" `Quick test_check_detects_broken_route;
         Alcotest.test_case "detects shared node" `Quick test_check_detects_shared_node;
+        Alcotest.test_case "double-booked FU diagnostic" `Quick test_check_double_booked_fu;
+        Alcotest.test_case "dropped route edge diagnostic" `Quick
+          test_check_dropped_route_edge_diagnostic;
+        Alcotest.test_case "shared node diagnostic" `Quick test_check_shared_node_diagnostic;
+      ] );
+    ( "core:certify",
+      [
+        Alcotest.test_case "infeasible carries checked DRAT" `Quick test_map_certify_infeasible;
+        Alcotest.test_case "feasible certified by checker" `Quick test_map_certify_feasible;
+        Alcotest.test_case "uncertified by default" `Quick
+          test_map_infeasible_uncertified_by_default;
+        Alcotest.test_case "b&b cross-certifies" `Quick test_map_certify_bnb_cross_certifies;
       ] );
     ( "core:anneal",
       [

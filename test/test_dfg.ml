@@ -143,6 +143,59 @@ let test_table1_stats () =
       Alcotest.check stats_testable name expected (Dfg.stats g))
     Benchmarks.all
 
+(* Finer-grained pin than [expected_stats]: the full per-benchmark op
+   histogram and edge count, so a DFG refactor cannot silently trade
+   one op kind for another while keeping the Table 1 totals intact.
+   All suite kernels are register-to-register, so load/store pin at 0 —
+   any memory op appearing is drift, not a new feature. *)
+let expected_histograms =
+  (* name, (inputs, outputs, adds, muls, consts, loads, stores, edges) *)
+  [
+    ("accum", (8, 2, 4, 4, 0, 0, 0, 18));
+    ("mac", (1, 0, 3, 3, 3, 0, 0, 12));
+    ("add_10", (5, 5, 10, 0, 0, 0, 0, 25));
+    ("add_14", (7, 7, 14, 0, 0, 0, 0, 35));
+    ("add_16", (8, 8, 16, 0, 0, 0, 0, 40));
+    ("mult_10", (9, 1, 0, 9, 0, 0, 0, 19));
+    ("mult_14", (13, 1, 0, 13, 0, 0, 0, 27));
+    ("mult_16", (15, 1, 0, 15, 0, 0, 0, 31));
+    ("2x2-f", (4, 1, 2, 1, 0, 0, 0, 11));
+    ("2x2-p", (5, 1, 3, 1, 0, 0, 0, 13));
+    ("cos_4", (4, 1, 2, 12, 0, 0, 0, 29));
+    ("cosh_4", (4, 1, 2, 12, 0, 0, 0, 29));
+    ("exp_4", (3, 1, 4, 5, 0, 0, 0, 19));
+    ("exp_5", (4, 1, 3, 9, 0, 0, 0, 25));
+    ("exp_6", (5, 1, 1, 14, 0, 0, 0, 31));
+    ("sinh_4", (4, 1, 4, 9, 0, 0, 0, 27));
+    ("tay_4", (4, 1, 4, 6, 0, 0, 0, 21));
+    ("extreme", (8, 8, 11, 4, 0, 0, 0, 46));
+    ("weighted_sum", (15, 1, 8, 8, 0, 0, 0, 33));
+  ]
+
+let test_table1_histograms () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk () in
+      let nodes = Dfg.nodes g in
+      let c op = List.length (List.filter (fun (n : Dfg.node) -> n.Dfg.op = op) nodes) in
+      let actual =
+        (c Op.Input, c Op.Output, c Op.Add, c Op.Mul, c Op.Const, c Op.Load, c Op.Store,
+         Dfg.edge_count g)
+      in
+      let expected = List.assoc name expected_histograms in
+      if actual <> expected then begin
+        let show (i, o, a, m, k, l, s, e) =
+          Printf.sprintf "in=%d out=%d add=%d mul=%d const=%d load=%d store=%d edges=%d" i o a m
+            k l s e
+        in
+        Alcotest.failf "%s drifted: expected %s, got %s" name (show expected) (show actual)
+      end)
+    Benchmarks.all;
+  (* the pin table and the registry must cover the same benchmarks *)
+  Alcotest.(check int) "pin table covers every benchmark"
+    (List.length Benchmarks.all)
+    (List.length expected_histograms)
+
 let test_all_benchmarks_validate () =
   List.iter
     (fun (name, mk) ->
@@ -261,6 +314,7 @@ let suites =
     ( "dfg:table1",
       [
         Alcotest.test_case "stats match Table 1" `Quick test_table1_stats;
+        Alcotest.test_case "op histograms pinned" `Quick test_table1_histograms;
         Alcotest.test_case "all benchmarks validate" `Quick test_all_benchmarks_validate;
         Alcotest.test_case "lookup by name" `Quick test_by_name;
       ] );

@@ -1,0 +1,273 @@
+module Solver = Cgra_satoca.Solver
+module Lit = Cgra_satoca.Lit
+module Proof = Cgra_satoca.Proof
+module Drat = Cgra_satoca.Drat
+module Rng = Cgra_util.Rng
+
+let valid = function Drat.Valid -> true | Drat.Invalid _ -> false
+
+(* Solve [clauses] over [nvars] variables with proof logging attached;
+   returns the solver result and the trace. *)
+let solve_logged nvars clauses =
+  let s = Solver.create () in
+  let proof = Proof.create () in
+  Solver.set_proof s (Some proof);
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve s, proof)
+
+(* var p*holes + h: pigeon p sits in hole h *)
+let php_clauses pigeons holes =
+  let at_least =
+    List.init pigeons (fun p -> List.init holes (fun h -> Lit.pos ((p * holes) + h)))
+  in
+  let mutex = ref [] in
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 2 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        mutex := [ Lit.neg ((p1 * holes) + h); Lit.neg ((p2 * holes) + h) ] :: !mutex
+      done
+    done
+  done;
+  at_least @ List.rev !mutex
+
+let php_proof () =
+  let result, proof = solve_logged 12 (php_clauses 4 3) in
+  Alcotest.(check bool) "php(4,3) is unsat" true (result = Solver.Unsat);
+  proof
+
+(* x0..x2; each pair must contain a true variable, yet all variables
+   are pairwise exclusive: a 3-clique of mutexes with covering pairs. *)
+let mutex_clique_clauses =
+  [
+    [ Lit.pos 0; Lit.pos 1 ];
+    [ Lit.pos 0; Lit.pos 2 ];
+    [ Lit.pos 1; Lit.pos 2 ];
+    [ Lit.neg 0; Lit.neg 1 ];
+    [ Lit.neg 0; Lit.neg 2 ];
+    [ Lit.neg 1; Lit.neg 2 ];
+  ]
+
+(* ---------------- solver proofs are accepted ---------------- *)
+
+let test_php_proof_valid () =
+  let proof = php_proof () in
+  Alcotest.(check bool) "trace claims a refutation" true (Proof.has_empty_clause proof);
+  Alcotest.(check bool) "trace has derivation steps" true (Proof.n_steps proof > 0);
+  Alcotest.(check int) "trace records the whole CNF" (List.length (php_clauses 4 3))
+    (Proof.n_inputs proof);
+  match Drat.check proof with
+  | Drat.Valid -> ()
+  | Drat.Invalid msg -> Alcotest.failf "php(4,3) certificate rejected: %s" msg
+
+let test_mutex_clique_proof_valid () =
+  let result, proof = solve_logged 3 mutex_clique_clauses in
+  Alcotest.(check bool) "mutex clique is unsat" true (result = Solver.Unsat);
+  Alcotest.(check bool) "certificate validates" true (valid (Drat.check proof))
+
+let test_large_php_proof_valid () =
+  (* php(6,5) takes hundreds of conflicts: exercises learnt clauses,
+     restarts and (potentially) deletions in one certificate *)
+  let result, proof = solve_logged 30 (php_clauses 6 5) in
+  Alcotest.(check bool) "php(6,5) is unsat" true (result = Solver.Unsat);
+  Alcotest.(check bool) "certificate validates" true (valid (Drat.check proof))
+
+(* ---------------- tampered proofs are rejected ---------------- *)
+
+let test_tamper_deleted_step () =
+  (* strip every derivation except the final empty clause: with no
+     lemma chain the empty clause is not unit-propagation derivable
+     from the pigeonhole axioms *)
+  let events = Proof.events (php_proof ()) in
+  let tampered =
+    List.filter
+      (function
+        | Proof.Input _ -> true
+        | Proof.Add [] -> true
+        | Proof.Add _ | Proof.Delete _ -> false)
+      events
+  in
+  match Drat.check_events tampered with
+  | Drat.Invalid _ -> ()
+  | Drat.Valid -> Alcotest.fail "proof with its lemmas deleted was accepted"
+
+let test_tamper_flipped_literal () =
+  (* In an UNSAT CNF a flipped lemma can stay derivable (every clause is
+     entailed), so the rejection must be engineered: here x is forced by
+     the first two clauses, but refuting the last four needs a decision,
+     so the flip [~x] propagates nothing — neither RUP nor RAT.  The
+     untampered trace is the control. *)
+  let a = Lit.pos 0 and x = Lit.pos 1 and p = Lit.pos 2 and q = Lit.pos 3 in
+  let na = Lit.neg 0 and nx = Lit.neg 1 and np = Lit.neg 2 and nq = Lit.neg 3 in
+  let inputs =
+    [
+      Proof.Input [ a; x ];
+      Proof.Input [ na; x ];
+      Proof.Input [ nx; p; q ];
+      Proof.Input [ nx; np; q ];
+      Proof.Input [ nx; p; nq ];
+      Proof.Input [ nx; np; nq ];
+    ]
+  in
+  let derivation first = [ Proof.Add [ first ]; Proof.Add [ p ]; Proof.Add [] ] in
+  Alcotest.(check bool) "control: untampered proof validates" true
+    (valid (Drat.check_events (inputs @ derivation x)));
+  match Drat.check_events (inputs @ derivation nx) with
+  | Drat.Invalid _ -> ()
+  | Drat.Valid -> Alcotest.fail "proof with a flipped literal was accepted"
+
+let test_tamper_forged_unit () =
+  (* a forged unit "pigeon 0 sits in hole 0" propagates nothing over
+     the pigeonhole axioms, so it is neither RUP nor RAT *)
+  let events = Proof.events (php_proof ()) in
+  let inputs, derivation =
+    List.partition (function Proof.Input _ -> true | _ -> false) events
+  in
+  let tampered = inputs @ (Proof.Add [ Lit.pos 0 ] :: derivation) in
+  match Drat.check_events tampered with
+  | Drat.Invalid msg ->
+      Alcotest.(check bool) "diagnostic names the step" true
+        (Astring.String.is_infix ~affix:"neither RUP nor RAT" msg)
+  | Drat.Valid -> Alcotest.fail "forged unit was accepted"
+
+let test_truncated_proof_incomplete () =
+  (* dropping the final empty clause leaves every step sound but the
+     refutation unfinished *)
+  let events = Proof.events (php_proof ()) in
+  let truncated = List.filter (function Proof.Add [] -> false | _ -> true) events in
+  (match Drat.check_events truncated with
+  | Drat.Invalid msg ->
+      Alcotest.(check bool) "diagnosed as incomplete" true
+        (Astring.String.is_infix ~affix:"incomplete" msg)
+  | Drat.Valid -> ());
+  (* ... which is exactly what require_empty:false permits *)
+  Alcotest.(check bool) "steps alone check out" true
+    (valid (Drat.check_events ~require_empty:false truncated))
+
+(* ---------------- checker unit behaviour ---------------- *)
+
+let test_hand_written_proof () =
+  (* (x|y)(~x|y)(~y|x)(~x|~y): derive y, delete a clause the rest of
+     the proof no longer needs, derive x, conclude *)
+  let x = Lit.pos 0 and y = Lit.pos 1 in
+  let nx = Lit.neg 0 and ny = Lit.neg 1 in
+  let events =
+    [
+      Proof.Input [ x; y ];
+      Proof.Input [ nx; y ];
+      Proof.Input [ ny; x ];
+      Proof.Input [ nx; ny ];
+      Proof.Add [ y ];
+      Proof.Delete [ x; y ];
+      Proof.Add [ x ];
+      Proof.Add [];
+    ]
+  in
+  Alcotest.(check bool) "hand-written DRAT accepted" true (valid (Drat.check_events events))
+
+let test_rat_step_accepted () =
+  (* [x] is not RUP over {(x|y)} but is RAT on pivot x (no clause
+     contains ~x), the classic blocked-clause case *)
+  let events = [ Proof.Input [ Lit.pos 0; Lit.pos 1 ]; Proof.Add [ Lit.pos 0 ] ] in
+  Alcotest.(check bool) "pure-pivot RAT addition accepted" true
+    (valid (Drat.check_events ~require_empty:false events));
+  (* [x] against {~x} breaks satisfiability: the pivot's resolvent is
+     not RUP, so neither RUP nor RAT admits it *)
+  let events = [ Proof.Input [ Lit.neg 0 ]; Proof.Add [ Lit.pos 0 ] ] in
+  Alcotest.(check bool) "satisfiability-breaking addition rejected" false
+    (valid (Drat.check_events ~require_empty:false events))
+
+let test_deletion_is_real () =
+  (* [y] is RUP from {(x|y), (~x|y)}; delete (x|y) and the derivation
+     collapses (the (~y|z) clause blocks the vacuous-RAT escape) *)
+  let x = Lit.pos 0 and y = Lit.pos 1 and z = Lit.pos 2 in
+  let nx = Lit.neg 0 and ny = Lit.neg 1 in
+  let base = [ Proof.Input [ x; y ]; Proof.Input [ nx; y ]; Proof.Input [ ny; z ] ] in
+  Alcotest.(check bool) "control: derivable before deletion" true
+    (valid (Drat.check_events ~require_empty:false (base @ [ Proof.Add [ y ] ])));
+  Alcotest.(check bool) "deleted clause cannot support a step" false
+    (valid
+       (Drat.check_events ~require_empty:false
+          (base @ [ Proof.Delete [ x; y ]; Proof.Add [ y ] ])))
+
+let test_proof_export () =
+  let proof = php_proof () in
+  let dimacs = Proof.to_dimacs proof in
+  let drat = Proof.to_drat proof in
+  Alcotest.(check bool) "DIMACS header present" true
+    (Astring.String.is_prefix ~affix:"p cnf 12 " dimacs);
+  (* the exported CNF reparses to exactly the logged inputs *)
+  (match Cgra_satoca.Dimacs.parse dimacs with
+  | Error e -> Alcotest.failf "exported DIMACS rejected: %s" e
+  | Ok (nvars, clauses) ->
+      Alcotest.(check int) "exported nvars" 12 nvars;
+      Alcotest.(check bool) "exported clauses match the trace" true
+        (clauses = Proof.cnf proof));
+  Alcotest.(check bool) "DRAT body ends with the empty clause" true
+    (Astring.String.is_suffix ~affix:"0\n" drat)
+
+(* ---------------- ILP-layer certification ---------------- *)
+
+module Model = Cgra_ilp.Model
+module Solve = Cgra_ilp.Solve
+
+(* x0 + x1 <= 1 and x0 + x1 >= 2: infeasible beyond presolve's reach
+   only via clausal reasoning on two rows *)
+let infeasible_model () =
+  let m = Model.create () in
+  let a = Model.add_binary m "a" and b = Model.add_binary m "b" in
+  Model.add_row m [ (1, a); (1, b) ] Model.Le 1;
+  Model.add_row m [ (1, a); (1, b) ] Model.Ge 2;
+  m
+
+let test_solve_certifies_infeasible () =
+  List.iter
+    (fun engine ->
+      let proof = Proof.create () in
+      let outcome = Solve.solve ~engine ~proof (infeasible_model ()) in
+      Alcotest.(check bool) "proven infeasible" true (outcome = Solve.Infeasible);
+      Alcotest.(check bool) "trace refutes" true (Proof.has_empty_clause proof);
+      Alcotest.(check bool) "certificate validates" true (valid (Drat.check proof)))
+    [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
+
+let test_descent_certifies_optimality () =
+  (* minimisation with a strictly positive optimum: the descent cannot
+     stop at the arithmetic floor, so its final UNSAT must close a
+     valid certificate even though the totalizer bound clauses arrive
+     mid-trace *)
+  let m = Model.create () in
+  let a = Model.add_binary m "a" in
+  let b = Model.add_binary m "b" in
+  let c = Model.add_binary m "c" in
+  Model.add_row m [ (1, a); (1, b); (1, c) ] Model.Eq 1;
+  Model.set_objective m (Model.Minimize [ (2, a); (3, b); (4, c) ]);
+  let proof = Proof.create () in
+  (match Solve.solve ~proof m with
+  | Solve.Optimal (assign, obj) ->
+      Alcotest.(check int) "optimum picks the cheapest variable" 2 obj;
+      Alcotest.(check bool) "a chosen" true assign.(0)
+  | other -> Alcotest.failf "expected optimal, got %s" (Format.asprintf "%a" Solve.pp_outcome other));
+  Alcotest.(check bool) "descent closed with a refutation" true (Proof.has_empty_clause proof);
+  Alcotest.(check bool) "optimality certificate validates" true (valid (Drat.check proof))
+
+let suites =
+  [
+    ( "drat",
+      [
+        Alcotest.test_case "php(4,3) proof validates" `Quick test_php_proof_valid;
+        Alcotest.test_case "mutex-clique proof validates" `Quick test_mutex_clique_proof_valid;
+        Alcotest.test_case "php(6,5) proof validates" `Quick test_large_php_proof_valid;
+        Alcotest.test_case "deleted lemmas reject" `Quick test_tamper_deleted_step;
+        Alcotest.test_case "flipped literal rejects" `Quick test_tamper_flipped_literal;
+        Alcotest.test_case "forged unit rejects" `Quick test_tamper_forged_unit;
+        Alcotest.test_case "truncated proof is incomplete" `Quick test_truncated_proof_incomplete;
+        Alcotest.test_case "hand-written DRAT accepted" `Quick test_hand_written_proof;
+        Alcotest.test_case "RAT fallback" `Quick test_rat_step_accepted;
+        Alcotest.test_case "deletions really delete" `Quick test_deletion_is_real;
+        Alcotest.test_case "trace exports (DIMACS/DRAT)" `Quick test_proof_export;
+        Alcotest.test_case "all engines certify infeasibility" `Quick
+          test_solve_certifies_infeasible;
+        Alcotest.test_case "descent certifies optimality" `Quick
+          test_descent_certifies_optimality;
+      ] );
+  ]

@@ -275,6 +275,66 @@ let prop_presolve_preserves_outcome =
       outcome_matches m with_p without_p
       || (with_p = Solve.Infeasible && without_p = Solve.Infeasible))
 
+(* ---------------- differential fuzzer (structured, shrinkable) ----------------
+
+   Unlike the seed-based properties above, this generator builds the
+   model description as plain data, so QCheck2's integrated shrinking
+   minimises any counterexample before it is printed — and the printer
+   renders the offending model as LP text via Lp_format, ready to be
+   pasted into a regression test. *)
+
+let build_model (nvars, rows, objective) =
+  let m = Model.create ~name:"fuzz" () in
+  let vars = Array.init nvars (fun i -> Model.add_binary m (Printf.sprintf "v%d" i)) in
+  let term (c, i) = (c, vars.(abs i mod nvars)) in
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let sense = match abs sense mod 3 with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq in
+      Model.add_row m (List.map term terms) sense rhs)
+    rows;
+  (match objective with
+  | None -> ()
+  | Some terms -> Model.set_objective m (Model.Minimize (List.map term terms)));
+  m
+
+let gen_model_spec =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 6 in
+  let gen_term = pair (int_range (-3) 3) (int_range 0 (nvars - 1)) in
+  let gen_row =
+    let* terms = list_size (int_range 1 4) gen_term in
+    let* sense = int_range 0 2 in
+    let* rhs = int_range (-3) 4 in
+    return (terms, sense, rhs)
+  in
+  let* rows = list_size (int_range 0 8) gen_row in
+  let* objective = option (list_size (int_range 1 nvars) gen_term) in
+  return (nvars, rows, objective)
+
+let print_model_spec spec = Lp_format.to_string (build_model spec)
+
+let prop_differential_sat_vs_bnb =
+  QCheck2.Test.make ~name:"differential: sat-backed vs b&b agree" ~count:300
+    ~print:print_model_spec gen_model_spec (fun spec ->
+      let m = build_model spec in
+      outcome_matches m
+        (Solve.solve ~engine:Solve.Sat_backed m)
+        (Solve.solve ~engine:Solve.Branch_and_bound m))
+
+let prop_differential_status_stable_under_proof =
+  (* proof logging must never change the verdict, only observe it *)
+  QCheck2.Test.make ~name:"differential: proof logging preserves verdict" ~count:100
+    ~print:print_model_spec gen_model_spec (fun spec ->
+      let m = build_model spec in
+      let plain = Solve.solve ~engine:Solve.Sat_backed m in
+      let proof = Cgra_satoca.Proof.create () in
+      let logged = Solve.solve ~engine:Solve.Sat_backed ~proof m in
+      match (plain, logged) with
+      | Solve.Infeasible, Solve.Infeasible ->
+          Cgra_satoca.Proof.has_empty_clause proof
+          && Cgra_satoca.Drat.check proof = Cgra_satoca.Drat.Valid
+      | _ -> outcome_matches m plain logged)
+
 let prop_lp_roundtrip_random =
   QCheck2.Test.make ~name:"LP roundtrip preserves solutions" ~count:100
     QCheck2.Gen.(int_range 0 1_000_000)
@@ -324,6 +384,8 @@ let suites =
         [
           prop_sat_engine_matches_brute;
           prop_bnb_engine_matches_brute;
+          prop_differential_sat_vs_bnb;
+          prop_differential_status_stable_under_proof;
           prop_presolve_preserves_outcome;
           prop_lp_roundtrip_random;
         ] );

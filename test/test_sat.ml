@@ -361,6 +361,38 @@ let test_dimacs_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected bad literal"
 
+let gen_cnf =
+  let open QCheck2.Gen in
+  let* nvars = int_range 1 8 in
+  let gen_lit =
+    map2 (fun v s -> if s then Lit.pos v else Lit.neg v) (int_range 0 (nvars - 1)) bool
+  in
+  let* clauses = list_size (int_range 0 10) (list_size (int_range 0 4) gen_lit) in
+  return (nvars, clauses)
+
+let prop_dimacs_roundtrip_random =
+  (* parse ∘ print = id, including duplicate literals, repeated clauses
+     and the empty clause — the printer must not normalise anything *)
+  QCheck2.Test.make ~name:"dimacs roundtrip is identity" ~count:300
+    ~print:(fun (nvars, clauses) -> Dimacs.print ~nvars clauses)
+    gen_cnf
+    (fun (nvars, clauses) -> Dimacs.parse (Dimacs.print ~nvars clauses) = Ok (nvars, clauses))
+
+let test_dimacs_whitespace_tolerant () =
+  (* tabs, CR line endings and runs of blanks are all legal separators,
+     and a clause may span lines *)
+  let text = "c\tcomment\r\np cnf  3\t2\r\n1\t-2  0\r\n-1 \t 3 0\n" in
+  (match Dimacs.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok (nv, clauses) ->
+      Alcotest.(check int) "nvars" 3 nv;
+      Alcotest.(check bool) "clauses" true
+        (clauses = [ [ Lit.pos 0; Lit.neg 1 ]; [ Lit.neg 0; Lit.pos 2 ] ]));
+  match Dimacs.parse "p cnf 2 1\n1\n2 0\n" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, clauses) ->
+      Alcotest.(check bool) "clause spans lines" true (clauses = [ [ Lit.pos 0; Lit.pos 1 ] ])
+
 let test_lit_encoding () =
   Alcotest.(check int) "pos var" 3 (Lit.var (Lit.pos 3));
   Alcotest.(check bool) "pos sign" true (Lit.sign (Lit.pos 3));
@@ -402,8 +434,14 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
         Alcotest.test_case "load+solve" `Quick test_dimacs_load_solve;
         Alcotest.test_case "parse errors" `Quick test_dimacs_errors;
+        Alcotest.test_case "whitespace tolerant" `Quick test_dimacs_whitespace_tolerant;
       ] );
     ( "sat:properties",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_agrees_with_brute_force; prop_sat_model_valid; prop_at_most_k_random ] );
+        [
+          prop_agrees_with_brute_force;
+          prop_sat_model_valid;
+          prop_at_most_k_random;
+          prop_dimacs_roundtrip_random;
+        ] );
   ]

@@ -71,11 +71,22 @@ let test_record_roundtrip () =
       build_seconds = 1.25;
       sat_calls = 3;
       presolve_fixed = 17;
+      certified = true;
     }
   in
   match Record.of_line (Record.to_line r) with
   | Error e -> Alcotest.failf "record reparse failed: %s" e
   | Ok r' -> Alcotest.(check bool) "record roundtrip" true (r = r')
+
+let test_record_certified_default () =
+  (* journals written before certification existed have no "certified"
+     key; they must load as uncertified, not fail *)
+  let line =
+    {|{"benchmark":"mac","arch":"homo-orth","size":2,"contexts":1,"limit":10,"status":"infeasible","engine":"sat","total_seconds":1,"solve_seconds":1,"build_seconds":0,"sat_calls":1,"presolve_fixed":0}|}
+  in
+  match Record.of_line line with
+  | Error e -> Alcotest.failf "legacy line rejected: %s" e
+  | Ok r -> Alcotest.(check bool) "legacy record is uncertified" false r.Record.certified
 
 let test_record_error_roundtrip () =
   let r = Record.error (job ()) "boom: \"quoted\" reason" in
@@ -196,6 +207,36 @@ let test_portfolio_cancellation () =
   Alcotest.(check bool) "and returns immediately, not at the limit" true
     (r.Record.total_seconds < 30.0)
 
+(* ---------------- certification ---------------- *)
+
+let test_certified_sweep () =
+  (* Every definitive verdict of a certified sweep must carry validated
+     evidence: Check-accepted mappings for feasible cells, checked DRAT
+     refutations for infeasible ones.  Covers the SAT engine directly
+     and the B&B cross-certification through a portfolio race. *)
+  let records, _ = Scheduler.run ~jobs:2 ~certify:true fast_jobs in
+  Alcotest.(check (list string))
+    "statuses unchanged by certification"
+    [ "infeasible"; "infeasible"; "infeasible"; "feasible" ]
+    (statuses records);
+  List.iter
+    (fun (r : Record.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is certified" (Job.key r.Record.job))
+        true r.Record.certified)
+    records;
+  let bnb = { Runner.name = "bnb"; engine = Cgra_ilp.Solve.Branch_and_bound; warm_start = 0.0 } in
+  let r = Runner.run_variant ~certify:true bnb (job ()) in
+  Alcotest.(check string) "b&b proves the cell" "infeasible"
+    (Record.status_to_string r.Record.status);
+  Alcotest.(check bool) "b&b infeasibility is cross-certified" true r.Record.certified
+
+let test_uncertified_by_default () =
+  let r = Runner.run (job ()) in
+  Alcotest.(check string) "still infeasible" "infeasible"
+    (Record.status_to_string r.Record.status);
+  Alcotest.(check bool) "no certificate without --certify" false r.Record.certified
+
 (* ---------------- Grid ---------------- *)
 
 let test_grid_render () =
@@ -221,6 +262,8 @@ let suites =
         Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
         Alcotest.test_case "jsonl rejects malformed" `Quick test_jsonl_errors;
         Alcotest.test_case "record line roundtrip" `Quick test_record_roundtrip;
+        Alcotest.test_case "legacy record defaults to uncertified" `Quick
+          test_record_certified_default;
         Alcotest.test_case "error record roundtrip" `Quick test_record_error_roundtrip;
         Alcotest.test_case "store append/load" `Quick test_store_roundtrip;
         Alcotest.test_case "store missing file" `Quick test_store_missing_file;
@@ -229,6 +272,8 @@ let suites =
         Alcotest.test_case "resume skips journaled jobs" `Slow test_scheduler_resume;
         Alcotest.test_case "portfolio first-definitive agreement" `Slow test_portfolio_definitive;
         Alcotest.test_case "cancellation stops a run" `Slow test_portfolio_cancellation;
+        Alcotest.test_case "certified sweep validates every verdict" `Slow test_certified_sweep;
+        Alcotest.test_case "certification is off by default" `Slow test_uncertified_by_default;
         Alcotest.test_case "table renders from journal" `Slow test_grid_render;
       ] );
   ]
