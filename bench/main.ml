@@ -7,6 +7,7 @@
      sizes             formulation sizes per cell (diagnostics)
      sweep             parallel sweep engine scaling (--jobs 1/2/4)
      certify           DRAT certification overhead (proof logging on vs off)
+     explain           unsat-core extraction overhead on infeasible cells
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -349,6 +350,56 @@ let run_certify opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Explanation overhead: unsat-core extraction on infeasible cells     *)
+(* ------------------------------------------------------------------ *)
+
+(* 2x2 cells proven infeasible by real search.  The [plain] column is
+   the bare infeasibility proof; [explain] adds grouped re-encoding,
+   assumption solving, deletion-based core minimization and the
+   from-scratch verification re-solve. *)
+let run_explain opts =
+  let reps = 3 in
+  Printf.printf "== Explanation overhead (2x2 infeasible cells, %d reps) ==\n" reps;
+  let arch =
+    match Lib.find_config ~size:2 "homo-orth" with
+    | Some c -> Lib.make c
+    | None -> failwith "bench explain: homo-orth config missing"
+  in
+  Printf.printf "  %-10s %-4s %10s %10s %9s %6s %10s %9s\n" "benchmark" "ii" "plain" "explain"
+    "overhead" "core" "minimized" "SATcalls";
+  List.iter
+    (fun (bench, ii) ->
+      match Benchmarks.by_name bench with
+      | None -> Printf.printf "  %-10s unknown benchmark\n" bench
+      | Some dfg ->
+          let mrrg = Build.elaborate arch ~ii in
+          let once explain =
+            IM.map ~deadline:(Deadline.after ~seconds:opts.limit) ~warm_start:0.0 ~explain dfg
+              mrrg
+          in
+          let time explain =
+            let t0 = Deadline.now () in
+            for _ = 1 to reps do
+              ignore (once explain)
+            done;
+            Deadline.elapsed_of ~start:t0 /. float_of_int reps
+          in
+          let plain = time false in
+          let explained = time true in
+          (match once true with
+          | IM.Infeasible { IM.diagnosis = Some d; _ } ->
+              Printf.printf "  %-10s ii%-3d %9.3fs %9.3fs %8.2fx %6d %10b %9d\n%!" bench ii
+                plain explained
+                (if plain > 0.0 then explained /. plain else 0.0)
+                (List.length d.IM.core) d.IM.core_minimized d.IM.core_sat_calls
+          | IM.Infeasible { IM.diagnosis = None; _ } ->
+              Printf.printf "  %-10s ii%-3d core extraction hit the deadline\n%!" bench ii
+          | IM.Mapped _ | IM.Timeout _ ->
+              Printf.printf "  %-10s ii%-3d not an infeasible cell — skipped\n%!" bench ii))
+    [ ("mac", 1); ("exp_4", 1); ("mac", 2) ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,6 +483,7 @@ let () =
       | "ablation" -> run_ablation opts
       | "sweep" -> run_sweep_scaling opts
       | "certify" -> run_certify opts
+      | "explain" -> run_explain opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

@@ -166,6 +166,39 @@ let map_cmd =
       const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg
       $ certify_arg)
 
+let explain_cmd =
+  let run bench arch size contexts limit =
+    let dfg = or_die (load_benchmark bench) in
+    let a = or_die (load_arch arch size) in
+    let mrrg = Build.elaborate a ~ii:contexts in
+    match IM.map ~deadline:(deadline_of limit) ~explain:true dfg mrrg with
+    | IM.Mapped (_, info) ->
+        Printf.printf "feasible (%.2fs): nothing to explain — a mapping exists\n"
+          info.IM.solve_seconds
+    | IM.Infeasible info -> (
+        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
+        match info.IM.diagnosis with
+        | Some d ->
+            print_string (Format.asprintf "%a" IM.pp_diagnosis d);
+            if not d.IM.core_verified then begin
+              print_endline "core verification incomplete (deadline hit during re-solve)";
+              exit 3
+            end
+        | None ->
+            print_endline "core extraction incomplete (deadline hit)";
+            exit 3)
+    | IM.Timeout _ ->
+        print_endline "timeout: feasibility undecided, nothing to explain";
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain why a benchmark does not map: extract a minimal constraint-group unsat \
+          core (which placements, routings and resource exclusivities conflict), verify it \
+          by re-solving, and print it in DFG/MRRG terms.")
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg)
+
 let anneal_cmd =
   let run bench arch size contexts limit seed =
     let dfg = or_die (load_benchmark bench) in
@@ -350,7 +383,14 @@ let sweep_cmd =
     let doc = "Context counts to sweep (repeatable); default: 1 and 2." in
     Arg.(value & opt_all int [] & info [ "c"; "contexts" ] ~docv:"II" ~doc)
   in
-  let run jobs portfolio certify resume out table benchmarks archs contexts limit size =
+  let explain_arg =
+    let doc =
+      "Extract a constraint-group unsat core for every infeasible cell and journal it \
+       (adds a $(b,core) array to the cell's JSONL record)."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run jobs portfolio certify explain resume out table benchmarks archs contexts limit size =
     let contexts = if contexts = [] then [ 1; 2 ] else contexts in
     let grid = Sweep_job.paper_grid ~size ~contexts ~limit ~benchmarks ~archs () in
     let skip =
@@ -367,12 +407,15 @@ let sweep_cmd =
             (Sweep_job.to_string job)
       | Sweep_sched.Job_finished { index; total; worker; record } ->
           Sweep_store.append store record;
-          Printf.eprintf "[%d/%d] w%d %-10s %s (%s, %.2fs)\n%!" (index + 1) total worker
+          Printf.eprintf "[%d/%d] w%d %-10s %s (%s, %.2fs)%s\n%!" (index + 1) total worker
             (Sweep_record.status_to_string record.Sweep_record.status)
             (Sweep_job.to_string record.Sweep_record.job)
             record.Sweep_record.engine record.Sweep_record.total_seconds
+            (match record.Sweep_record.core with
+            | [] -> ""
+            | core -> Printf.sprintf "  core: %s" (String.concat " " core))
     in
-    let records, stats = Sweep_sched.run ~jobs ~portfolio ~certify ~skip ~on_event grid in
+    let records, stats = Sweep_sched.run ~jobs ~portfolio ~certify ~explain ~skip ~on_event grid in
     Sweep_store.close store;
     Printf.eprintf "sweep: %d ran, %d skipped (resume), %.1fs wall, journal %s\n%!"
       stats.Sweep_sched.ran stats.Sweep_sched.skipped stats.Sweep_sched.wall_seconds out;
@@ -406,17 +449,18 @@ let sweep_cmd =
          "Run the Table-2 feasibility grid (or a filtered subset) as a parallel sweep over \
           OCaml domains, journaling every outcome to JSONL.  Re-running with $(b,--resume) \
           skips recorded jobs; $(b,--portfolio) races engines per job; $(b,--certify) \
-          demands validated evidence for every definitive verdict and exits 4 otherwise.")
+          demands validated evidence for every definitive verdict and exits 4 otherwise; \
+          $(b,--explain) journals a constraint-group unsat core for every infeasible cell.")
     Term.(
-      const run $ jobs_arg $ portfolio_arg $ certify_arg $ resume_arg $ out_arg $ table_arg
-      $ benchmarks_arg $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
+      const run $ jobs_arg $ portfolio_arg $ certify_arg $ explain_arg $ resume_arg $ out_arg
+      $ table_arg $ benchmarks_arg $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
 
 let main =
   let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in
   Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
     [
-      map_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; benchmarks_cmd; archs_cmd;
-      mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
+      map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; benchmarks_cmd;
+      archs_cmd; mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

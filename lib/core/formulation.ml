@@ -86,6 +86,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
        list yields an unsatisfiable row, i.e. provable infeasibility *)
     Model.add_row model
       ~name:(Printf.sprintf "place[%s]" qname)
+      ~group:(Printf.sprintf "place:%s" qname)
       (List.map (fun p -> (1, Hashtbl.find f_vars (p, q))) cand.(q))
       Model.Eq 1
   done;
@@ -99,6 +100,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
       if List.length !users > 1 then
         Model.add_row model
           ~name:(Printf.sprintf "excl[%s]" (Mrrg.node mrrg p).Mrrg.name)
+          ~group:(Printf.sprintf "excl:%s" (Mrrg.node mrrg p).Mrrg.name)
           (List.map (fun v -> (1, v)) !users)
           Model.Le 1)
     (Mrrg.func_units mrrg);
@@ -119,6 +121,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
   in
   Array.iteri
     (fun j (value : Dfg.value) ->
+      let vgroup = Printf.sprintf "route:val%d" j in
       let q' = value.Dfg.producer in
       let producer_outs =
         List.concat_map (fun p' -> route_fanouts mrrg p') cand.(q')
@@ -144,7 +147,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
                     | Some v ->
                         if not (Hashtbl.mem forced_zero v) then begin
                           Hashtbl.replace forced_zero v ();
-                          Model.add_row model [ (1, v) ] Model.Eq 0
+                          Model.add_row model ~group:vgroup [ (1, v) ] Model.Eq 0
                         end
                     | None -> ());
                     None)
@@ -176,7 +179,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
               in_value_set.(i) <- true;
               let rk = rkvar i in
               (* (8) value-level usage *)
-              Model.add_row model [ (1, rk); (-1, rvar i j) ] Model.Le 0;
+              Model.add_row model ~group:vgroup [ (1, rk); (-1, rvar i j) ] Model.Le 0;
               (match Hashtbl.find_opt term_of i with
               | Some p ->
                   (* (6), optionally strengthened to an equality:
@@ -185,13 +188,13 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
                      Valid because every legal route for this sub-value
                      must end exactly here. *)
                   let f = Option.get (fvar p q) in
-                  Model.add_row model [ (1, rk); (-1, f) ]
+                  Model.add_row model ~group:vgroup [ (1, rk); (-1, f) ]
                     (if anchor_sinks then Model.Eq else Model.Le)
                     0
               | None ->
                   (* (5) fanout routing: continue through some successor *)
                   let succs = List.filter in_set (Mrrg.fanouts mrrg i) in
-                  Model.add_row model
+                  Model.add_row model ~group:vgroup
                     ((1, rk) :: List.map (fun m -> (-1, rkvar m)) succs)
                     Model.Le 0);
               (* backward continuity: a used node needs a used
@@ -200,7 +203,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
                  satisfy it) and a large propagation win. *)
               if backward_continuity && not is_producer_out.(i) then begin
                 let preds = List.filter in_set (Mrrg.fanins mrrg i) in
-                Model.add_row model
+                Model.add_row model ~group:vgroup
                   ((1, rk) :: List.map (fun m -> (-1, rkvar m)) preds)
                   Model.Le 0
               end
@@ -214,7 +217,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
                 let f = Option.get (fvar p q) in
                 if not (Hashtbl.mem forced_zero f) then begin
                   Hashtbl.replace forced_zero f ();
-                  Model.add_row model [ (1, f) ] Model.Eq 0
+                  Model.add_row model ~group:vgroup [ (1, f) ] Model.Eq 0
                 end)
             terms;
           (* (7) initial fanout at every candidate producer location *)
@@ -224,11 +227,11 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
               List.iter
                 (fun out ->
                   if in_set out then
-                    Model.add_row model [ (1, rkvar out); (-1, f) ] Model.Eq 0
+                    Model.add_row model ~group:vgroup [ (1, rkvar out); (-1, f) ] Model.Eq 0
                   else if not (Hashtbl.mem forced_zero f) then begin
                     (* no corridor from this placement to the sink *)
                     Hashtbl.replace forced_zero f ();
-                    Model.add_row model [ (1, f) ] Model.Eq 0
+                    Model.add_row model ~group:vgroup [ (1, f) ] Model.Eq 0
                   end)
                 (route_fanouts mrrg p'))
             cand.(q'))
@@ -241,7 +244,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
             let present =
               List.filter_map (fun m -> Hashtbl.find_opt r_vars (m, j)) fins
             in
-            Model.add_row model
+            Model.add_row model ~group:vgroup
               ((1, rvar i j) :: List.map (fun v -> (-1, v)) present)
               Model.Eq 0
           end
@@ -261,6 +264,7 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
       if List.length vars > 1 then
         Model.add_row model
           ~name:(Printf.sprintf "route_excl[%s]" (Mrrg.node mrrg i).Mrrg.name)
+          ~group:(Printf.sprintf "excl:%s" (Mrrg.node mrrg i).Mrrg.name)
           (List.map (fun v -> (1, v)) vars)
           Model.Le 1)
     users_of_route;
@@ -278,6 +282,48 @@ let build ?(objective = Min_routing) ?(prune = true) ?(anchor_sinks = true)
               (fun (i, _) v acc -> (weight (Mrrg.node mrrg i), v) :: acc)
               r_vars [])));
   { model; dfg; mrrg; values; f_vars; r_vars; rk_vars }
+
+(* ----- constraint-group labels (unsat-core vocabulary) ----- *)
+
+type group_subject =
+  | Placement of string
+  | Exclusivity of string
+  | Routing of int
+
+let group_subject label =
+  let after prefix =
+    if String.length label > String.length prefix
+       && String.sub label 0 (String.length prefix) = prefix
+    then Some (String.sub label (String.length prefix) (String.length label - String.length prefix))
+    else None
+  in
+  match after "place:" with
+  | Some op -> Some (Placement op)
+  | None -> (
+      match after "excl:" with
+      | Some res -> Some (Exclusivity res)
+      | None -> (
+          match after "route:val" with
+          | Some j -> Option.map (fun j -> Routing j) (int_of_string_opt j)
+          | None -> None))
+
+let value_description t j =
+  if j < 0 || j >= Array.length t.values then invalid_arg "Formulation.value_description";
+  let v = t.values.(j) in
+  let producer = (Dfg.node t.dfg v.Dfg.producer).Dfg.name in
+  let sink (e : Dfg.edge) =
+    Printf.sprintf "%s.op%d" (Dfg.node t.dfg e.Dfg.dst).Dfg.name e.Dfg.operand
+  in
+  Printf.sprintf "%s -> %s" producer (String.concat ", " (List.map sink v.Dfg.sinks))
+
+let describe_group t label =
+  match group_subject label with
+  | Some (Placement op) -> Printf.sprintf "placement of operation %s" op
+  | Some (Exclusivity res) -> Printf.sprintf "exclusive use of resource %s" res
+  | Some (Routing j) when j >= 0 && j < Array.length t.values ->
+      Printf.sprintf "routing of value %d (%s)" j (value_description t j)
+  | Some (Routing j) -> Printf.sprintf "routing of value %d" j
+  | None -> label
 
 type size = { n_f : int; n_r : int; n_rk : int; n_rows : int }
 

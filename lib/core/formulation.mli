@@ -63,6 +63,35 @@ val build :
     - [backward_continuity]: require every used corridor node to have a
       used predecessor (the dual of constraint (5)). *)
 
+(** {1 Constraint groups}
+
+    Every row [build] emits is tagged with a named constraint group
+    (the [?group] of {!Ilp.Model.add_row}), so an infeasibility core
+    extracted by {!Ilp.Unsat_core} reads directly in mapping terms:
+    - [place:<op>] — constraint (1) for operation [<op>] (exactly one
+      placement);
+    - [excl:<node>] — constraint (2) or (4): exclusive use of the
+      functional-unit or routing node [<node>];
+    - [route:val<j>] — constraints (5)–(9) and corridor-pruning
+      implications for value [j] (its complete routing obligation). *)
+
+type group_subject =
+  | Placement of string    (** operation name from a [place:] label *)
+  | Exclusivity of string  (** MRRG node name from an [excl:] label *)
+  | Routing of int         (** value index from a [route:val] label *)
+
+val group_subject : string -> group_subject option
+(** Parse a group label back into the entity it constrains; [None] for
+    labels this formulation never emits. *)
+
+val value_description : t -> int -> string
+(** Human-readable [producer -> sink.op, ...] rendering of value [j].
+    @raise Invalid_argument on an out-of-range index. *)
+
+val describe_group : t -> string -> string
+(** One-line English description of a group label (falls back to the
+    label itself for foreign labels). *)
+
 type size = { n_f : int; n_r : int; n_rk : int; n_rows : int }
 
 val size : t -> size

@@ -1,7 +1,18 @@
 module Deadline = Cgra_util.Deadline
 module Solve = Cgra_ilp.Solve
+module Unsat_core = Cgra_ilp.Unsat_core
 module Proof = Cgra_satoca.Proof
 module Drat = Cgra_satoca.Drat
+
+type diagnosis = {
+  core : string list;
+  core_minimized : bool;
+  core_verified : bool;
+  core_sat_calls : int;
+  conflict_ops : string list;
+  conflict_values : string list;
+  conflict_resources : string list;
+}
 
 type info = {
   size : Formulation.size;
@@ -13,6 +24,7 @@ type info = {
   presolve_fixed : int;
   certified : bool;
   proof_steps : int;
+  diagnosis : diagnosis option;
 }
 
 type result = Mapped of Mapping.t * info | Infeasible of info | Timeout of info
@@ -65,8 +77,38 @@ let apply_warm_phases (f : Formulation.t) (m : Mapping.t) =
               r.Mapping.nodes)
     m.Mapping.routes
 
+(* Translate a verified group core back into mapping vocabulary: which
+   operations, values and resources the blame falls on. *)
+let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
+  let verified =
+    match Unsat_core.check ?deadline f.Formulation.model core.Unsat_core.groups with
+    | Some true -> true
+    | Some false ->
+        failwith "Ilp_mapper: extracted core re-solved satisfiable (bug)"
+    | None -> false
+  in
+  let ops = ref [] and values = ref [] and resources = ref [] in
+  List.iter
+    (fun label ->
+      match Formulation.group_subject label with
+      | Some (Formulation.Placement op) -> ops := op :: !ops
+      | Some (Formulation.Exclusivity node) -> resources := node :: !resources
+      | Some (Formulation.Routing j) ->
+          values := Formulation.value_description f j :: !values
+      | None -> ())
+    core.Unsat_core.groups;
+  {
+    core = core.Unsat_core.groups;
+    core_minimized = core.Unsat_core.minimized;
+    core_verified = verified;
+    core_sat_calls = core.Unsat_core.sat_calls;
+    conflict_ops = List.rev !ops;
+    conflict_values = List.rev !values;
+    conflict_resources = List.rev !resources;
+  }
+
 let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
-    ?(warm_start = 5.0) ?(certify = false) dfg mrrg =
+    ?(warm_start = 5.0) ?(certify = false) ?(explain = false) dfg mrrg =
   let attach d = match cancel with None -> d | Some f -> Deadline.with_cancellation d f in
   let deadline = Option.map attach deadline in
   let deadline =
@@ -88,7 +130,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
   let proof = if certify then Some (Proof.create ()) else None in
   let report = Solve.solve_report ?deadline ?engine ?proof f.Formulation.model in
   let proof_steps = match proof with Some p -> Proof.n_steps p | None -> 0 in
-  let info ~objective_value ~proven_optimal ~certified =
+  let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
     {
       size = Formulation.size f;
       solve_seconds = report.Solve.solve_seconds;
@@ -99,6 +141,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
       presolve_fixed = report.Solve.presolve_fixed;
       certified;
       proof_steps;
+      diagnosis;
     }
   in
   match report.Solve.outcome with
@@ -119,8 +162,18 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
                   (Printf.sprintf
                      "Ilp_mapper: solver produced an invalid DRAT certificate (bug): %s" msg))
       in
-      Infeasible (info ~objective_value:None ~proven_optimal:true ~certified)
-  | Solve.Timeout -> Timeout (info ~objective_value:None ~proven_optimal:false ~certified:false)
+      let diagnosis =
+        if not explain then None
+        else
+          match Unsat_core.extract ?deadline ~minimize:true f.Formulation.model with
+          | Unsat_core.Core core -> Some (diagnose ?deadline f core)
+          | Unsat_core.Satisfiable ->
+              failwith "Ilp_mapper: core extraction refuted the engine's infeasibility (bug)"
+          | Unsat_core.Unknown -> None
+      in
+      Infeasible (info ?diagnosis ~objective_value:None ~proven_optimal:true ~certified ())
+  | Solve.Timeout ->
+      Timeout (info ~objective_value:None ~proven_optimal:false ~certified:false ())
   | Solve.Optimal (assign, obj) | Solve.Feasible (assign, obj) ->
       let proven_optimal =
         match report.Solve.outcome with Solve.Optimal _ -> true | _ -> false
@@ -137,7 +190,26 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
       in
       (* Check.run just accepted the mapping: the positive verdict is
          certified by construction, whether or not proof logging ran. *)
-      Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true)
+      Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true ())
+
+let pp_diagnosis fmt d =
+  let plural = function [ _ ] -> "" | _ -> "s" in
+  Format.fprintf fmt "@[<v>unsat core (%d group%s, %s%s, %d SAT calls):@,"
+    (List.length d.core) (plural d.core)
+    (if d.core_minimized then "minimal" else "not minimized")
+    (if d.core_verified then ", verified" else "")
+    d.core_sat_calls;
+  List.iter (fun g -> Format.fprintf fmt "  %s@," g) d.core;
+  let section title = function
+    | [] -> ()
+    | items ->
+        Format.fprintf fmt "%s:@," title;
+        List.iter (fun s -> Format.fprintf fmt "  %s@," s) items
+  in
+  section "conflicting operations" d.conflict_ops;
+  section "conflicting values" d.conflict_values;
+  section "contended resources" d.conflict_resources;
+  Format.fprintf fmt "@]"
 
 let result_feasible = function Mapped _ -> true | Infeasible _ | Timeout _ -> false
 

@@ -8,6 +8,26 @@
 module Dfg := Cgra_dfg.Dfg
 module Mrrg := Cgra_mrrg.Mrrg
 
+type diagnosis = {
+  core : string list;
+      (** constraint-group labels ([place:]/[excl:]/[route:val], see
+          {!Formulation.group_subject}) whose conjunction with the hard
+          rows is infeasible *)
+  core_minimized : bool;
+      (** dropping any single group makes the remainder satisfiable *)
+  core_verified : bool;
+      (** the core was re-solved from scratch and confirmed infeasible
+          ({!Cgra_ilp.Unsat_core.check}); [false] only when the
+          deadline expired before verification finished *)
+  core_sat_calls : int;  (** incremental SAT calls spent on extraction *)
+  conflict_ops : string list;      (** operations named by [place:] groups *)
+  conflict_values : string list;
+      (** values named by [route:] groups, rendered producer -> sinks *)
+  conflict_resources : string list;  (** MRRG nodes named by [excl:] groups *)
+}
+(** An infeasibility explanation in mapping vocabulary: which placement,
+    routing and exclusivity obligations cannot be met together. *)
+
 type info = {
   size : Formulation.size;
   solve_seconds : float;
@@ -22,6 +42,9 @@ type info = {
           refutation for a certified [Infeasible]; always [false] for
           [Timeout] and for uncertified [Infeasible] runs *)
   proof_steps : int;             (** DRAT derivation steps logged; 0 unless certifying *)
+  diagnosis : diagnosis option;
+      (** present only for an [Infeasible] verdict under [~explain:true]
+          whose core extraction finished before the deadline *)
 }
 
 type result =
@@ -37,6 +60,7 @@ val map :
   ?prune:bool ->
   ?warm_start:float ->
   ?certify:bool ->
+  ?explain:bool ->
   Dfg.t ->
   Mrrg.t ->
   result
@@ -71,9 +95,20 @@ val map :
     [info.certified] reports whether the returned verdict carries
     validated evidence; a certificate cut short by the deadline yields
     [certified = false], not a failure.
+
+    [explain] (default [false]) makes an [Infeasible] verdict carry a
+    {!diagnosis}: a group-level unsat core extracted with
+    {!Cgra_ilp.Unsat_core}, minimized and independently re-verified
+    under the same deadline, then translated back to DFG/MRRG terms.
+    A deadline hit during extraction leaves [diagnosis = None].
     @raise Failure if the solver returns an assignment the independent
-    checker rejects, or a DRAT certificate the independent checker
-    refutes (either would be a bug, not an input error). *)
+    checker rejects, a DRAT certificate the independent checker
+    refutes, or an unsat core that re-solves satisfiable (each would be
+    a bug, not an input error). *)
 
 val result_feasible : result -> bool
 val pp_result : Format.formatter -> result -> unit
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+(** Multi-line rendering of a diagnosis: the core's labels followed by
+    the conflicting operations, values and resources. *)

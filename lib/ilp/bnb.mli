@@ -16,3 +16,5 @@ type outcome =
   | Timeout of (bool array * int) option  (** deadline hit; best incumbent if any *)
 
 val solve : ?deadline:Cgra_util.Deadline.t -> Model.t -> outcome
+(** Decide (and optimise) the model, honouring branching hints and the
+    optional deadline. *)

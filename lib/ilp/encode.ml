@@ -82,3 +82,33 @@ let encode ?proof model =
 
 let assignment t model =
   Array.init (Model.nvars model) (fun v -> Solver.value t.solver v)
+
+(* ---------------- grouped (selector-guarded) encoding ---------------- *)
+
+type grouped = { g_solver : Solver.t; selectors : (string * Lit.t) list }
+
+let encode_grouped model =
+  let solver = Solver.create () in
+  ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
+  for v = 0 to Model.nvars model - 1 do
+    let p = Model.branch_priority model v in
+    if p <> 0.0 then Solver.set_activity solver v p
+  done;
+  let sel = Hashtbl.create 16 in
+  let selectors =
+    List.map
+      (fun g ->
+        let l = Lit.pos (Solver.new_var solver) in
+        Hashtbl.replace sel g l;
+        (g, l))
+      (Model.groups model)
+  in
+  List.iter
+    (fun (row : Model.row) ->
+      (match row.Model.group with
+      | None -> Solver.set_guard solver None
+      | Some g -> Solver.set_guard solver (Some (Lit.negate (Hashtbl.find sel g))));
+      encode_row solver row)
+    (Model.rows model);
+  Solver.set_guard solver None;
+  { g_solver = solver; selectors }

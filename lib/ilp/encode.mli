@@ -23,3 +23,19 @@ val encode : ?proof:Cgra_satoca.Proof.t -> Model.t -> t
 
 val assignment : t -> Model.t -> bool array
 (** Read back the model-variable assignment after a [Sat] answer. *)
+
+type grouped = {
+  g_solver : Cgra_satoca.Solver.t;
+  selectors : (string * Cgra_satoca.Lit.t) list;
+      (** one selector literal per constraint group, in first-use
+          order; assuming a selector true enforces its group's rows *)
+}
+
+val encode_grouped : Model.t -> grouped
+(** Clausify the model with each constraint group relativised to a
+    fresh selector literal: every clause of a row in group [g] gets
+    [~s_g] appended, so the group is enforced exactly when [s_g] is
+    assumed (see {!Cgra_satoca.Solver.solve_with}).  Ungrouped rows are
+    encoded hard.  Solving under all selectors is decision-equivalent
+    to {!encode} + solve; an [Unsat]'s failed assumptions name the
+    groups in conflict — the raw material of {!Unsat_core}. *)

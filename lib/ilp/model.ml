@@ -1,7 +1,7 @@
 type var = int
 type sense = Le | Ge | Eq
 type term = int * var
-type row = { name : string; terms : term list; sense : sense; rhs : int }
+type row = { name : string; group : string option; terms : term list; sense : sense; rhs : int }
 
 type objective = Feasibility | Minimize of term list
 
@@ -77,15 +77,29 @@ let merge_terms terms =
   Hashtbl.fold (fun v c acc -> if c = 0 then acc else (c, v) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
-let add_row t ?name terms sense rhs =
+let add_row t ?name ?group terms sense rhs =
   List.iter
     (fun (_, v) ->
       if v < 0 || v >= t.count then
         invalid_arg (Printf.sprintf "Model.add_row: variable %d out of range" v))
     terms;
+  (match group with
+  | Some "" -> invalid_arg "Model.add_row: empty group label"
+  | _ -> ());
   let rname = match name with Some n -> n | None -> Printf.sprintf "c%d" t.nrows in
-  t.rev_rows <- { name = rname; terms = merge_terms terms; sense; rhs } :: t.rev_rows;
+  t.rev_rows <- { name = rname; group; terms = merge_terms terms; sense; rhs } :: t.rev_rows;
   t.nrows <- t.nrows + 1
+
+let groups t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun r ->
+      match r.group with
+      | Some g when not (Hashtbl.mem seen g) ->
+          Hashtbl.add seen g ();
+          Some g
+      | _ -> None)
+    (List.rev t.rev_rows)
 
 let set_objective t obj =
   (match obj with

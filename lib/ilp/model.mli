@@ -12,53 +12,92 @@ type var = int
 (** Dense variable index, 0-based. *)
 
 type sense = Le | Ge | Eq
+    (** Row comparison against its right-hand side. *)
 
 type term = int * var
 (** [coeff * variable]. *)
 
-type row = { name : string; terms : term list; sense : sense; rhs : int }
+type row = {
+  name : string;
+  group : string option;
+      (** constraint-group label for unsat-core extraction ([None] =
+          hard background constraint, never reported in a core) *)
+  terms : term list;
+  sense : sense;
+  rhs : int;
+}
 
 type objective =
   | Feasibility           (** no objective: any feasible point is optimal *)
   | Minimize of term list
 
 val create : ?name:string -> unit -> t
+(** A fresh empty model ([name] defaults to ["model"]). *)
+
 val name : t -> string
+(** The model's name (used as the LP-file problem name). *)
 
 val add_binary : t -> string -> var
 (** Add a fresh binary variable.  Names must be unique and non-empty
     (they become LP-file identifiers). *)
 
 val nvars : t -> int
-val var_name : t -> var -> string
-val find_var : t -> string -> var option
+(** Number of variables added so far. *)
 
-val add_row : t -> ?name:string -> term list -> sense -> int -> unit
+val var_name : t -> var -> string
+(** The name a variable was created with.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val find_var : t -> string -> var option
+(** Look a variable up by name. *)
+
+val add_row : t -> ?name:string -> ?group:string -> term list -> sense -> int -> unit
 (** Add a constraint row.  Terms on the same variable are merged;
-    zero-coefficient terms are dropped.
-    @raise Invalid_argument on unknown variables. *)
+    zero-coefficient terms are dropped.  [group] tags the row with a
+    named constraint group (e.g. [place:op7]): {!Unsat_core} reports
+    infeasibility cores as sets of group labels, so groups should be
+    the human-meaningful units of blame.  Rows without a group are
+    {e hard} — always enforced, never blamed.
+    @raise Invalid_argument on unknown variables or an empty group
+    label. *)
+
+val groups : t -> string list
+(** Distinct group labels in first-use order. *)
 
 val set_branch_priority : t -> var -> float -> unit
 (** Branching hint forwarded to the solving engines: variables with
     higher priority are decided first.  Default 0. *)
 
 val branch_priority : t -> var -> float
+(** Current priority hint of a variable. *)
 
 val set_branch_phase : t -> var -> bool -> unit
 (** Polarity hint: the value the variable is first decided to.
     Default [false]. *)
 
 val branch_phase : t -> var -> bool
+(** Current polarity hint of a variable. *)
 
 val set_objective : t -> objective -> unit
+(** Replace the objective (initially [Feasibility]). *)
+
 val objective : t -> objective
+(** The current objective. *)
+
 val rows : t -> row list
+(** All rows, in insertion order. *)
+
 val nrows : t -> int
+(** Number of rows. *)
 
 (** {1 Evaluation} — used by checkers and the reference solver. *)
 
 val eval_terms : term list -> (var -> bool) -> int
+(** Weighted sum of the terms under an assignment. *)
+
 val row_satisfied : row -> (var -> bool) -> bool
+(** Does the assignment satisfy this one row? *)
+
 val feasible : t -> (var -> bool) -> bool
 (** Does the assignment satisfy every row? *)
 

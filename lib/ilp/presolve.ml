@@ -12,6 +12,7 @@ type wrow = {
   sense : Model.sense;
   rhs : int;
   name : string;
+  group : string option;
   mutable live : bool;
 }
 
@@ -23,7 +24,14 @@ let run model =
   let rows =
     List.map
       (fun (r : Model.row) ->
-        { terms = Array.of_list r.terms; sense = r.sense; rhs = r.rhs; name = r.name; live = true })
+        {
+          terms = Array.of_list r.terms;
+          sense = r.sense;
+          rhs = r.rhs;
+          name = r.name;
+          group = r.group;
+          live = true;
+        })
       (Model.rows model)
   in
   (* Attainable [lo, hi] of a row's LHS under current fixings. *)
@@ -122,7 +130,8 @@ let run model =
                    | 0 -> None
                    | _ -> Some (c, new_of_old.(v)))
           in
-          Model.add_row reduced ~name:row.name terms row.sense (row.rhs - !const)
+          Model.add_row reduced ~name:row.name ?group:row.group terms row.sense
+            (row.rhs - !const)
         end)
       rows;
   let objective_offset =

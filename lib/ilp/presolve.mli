@@ -15,10 +15,17 @@ type t = {
 }
 
 val run : Model.t -> t
+(** Reduce a model to fixpoint.  Constraint-group tags survive on the
+    rows that remain.  ({!Unsat_core} nevertheless extracts cores from
+    the {e original} model: a presolve fixing could silently discharge
+    a grouped row that belongs in the blame.) *)
 
 val lift : original:Model.t -> t -> bool array -> bool array
 (** Extend an assignment of the reduced model to the original
     variables. *)
 
 val n_fixed : t -> int
+(** Number of variables eliminated. *)
+
 val n_rows_dropped : original:Model.t -> t -> int
+(** Number of rows the reduction removed. *)

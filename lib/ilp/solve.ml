@@ -49,13 +49,31 @@ let solve_sat ?proof ~deadline model sat_calls =
           if units = [] then Optimal (!best_assign, Model.objective_value model (fun v -> !best_assign.(v)))
           else begin
             let tot = Card.Totalizer.build solver units in
+            (* Each descent step enforces the strictly tighter bound as
+               an assumption, so the clause database stays free of
+               bound units and reusable under any bound.  Certified
+               runs commit the bound with [assert_at_most] instead: a
+               DRAT trace only refutes the clauses it logs, and an
+               assumption-final conflict is not a logged refutation. *)
+            let solve_bounded k =
+              match proof with
+              | Some _ ->
+                  Card.Totalizer.assert_at_most tot k;
+                  Solver.solve ~deadline solver
+              | None ->
+                  let assumptions =
+                    match Card.Totalizer.bound_lit tot k with
+                    | Some l -> [ l ]
+                    | None -> []
+                  in
+                  Solver.solve_with ~deadline ~assumptions solver
+            in
             let result = ref None in
             while !result = None do
               if !best = 0 then result := Some (Optimal (!best_assign, enc.Encode.objective_offset))
               else begin
-                Card.Totalizer.assert_at_most tot (!best - 1);
                 incr sat_calls;
-                match Solver.solve ~deadline solver with
+                match solve_bounded (!best - 1) with
                 | Solver.Sat ->
                     let a = Encode.assignment enc model in
                     let v = norm_value a in

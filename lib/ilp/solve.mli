@@ -8,7 +8,11 @@
     - [Sat_backed] (default): presolve, clausify into the CDCL solver,
       and minimise the objective by solution-improving descent over an
       incremental totalizer bound; the final UNSAT answer is the
-      optimality proof.
+      optimality proof.  Bounds are enforced as per-solve assumptions
+      ({!Cgra_satoca.Solver.solve_with} on the totalizer output), so
+      the clause database carries no bound units and stays reusable;
+      only certified runs commit bounds as clauses, because a DRAT
+      trace must contain every clause of the refutation it claims.
     - [Branch_and_bound]: the direct PB branch-and-bound of {!Bnb}.
     - [Brute_force]: exhaustive enumeration (tests only; <= ~22 vars). *)
 

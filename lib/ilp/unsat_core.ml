@@ -1,0 +1,94 @@
+module Solver = Cgra_satoca.Solver
+module Lit = Cgra_satoca.Lit
+module Deadline = Cgra_util.Deadline
+
+type core = { groups : string list; minimized : bool; sat_calls : int }
+
+type verdict = Core of core | Satisfiable | Unknown
+
+(* Order a literal set as its selectors appear in the encoding, and
+   translate back to labels — cores read in model-construction order. *)
+let labels_of selectors lits =
+  List.filter_map (fun (g, l) -> if List.mem l lits then Some g else None) selectors
+
+let extract ?(deadline = Deadline.none) ?(minimize = true) model =
+  let enc = Encode.encode_grouped model in
+  let solver = enc.Encode.g_solver in
+  let sat_calls = ref 0 in
+  let solve_under sels =
+    incr sat_calls;
+    Solver.solve_with ~deadline ~assumptions:sels solver
+  in
+  match solve_under (List.map snd enc.Encode.selectors) with
+  | Solver.Sat -> Satisfiable
+  | Solver.Unknown -> Unknown
+  | Solver.Unsat ->
+      (* An empty failed set means the hard (ungrouped) rows alone are
+         contradictory; the core is then legitimately empty. *)
+      let first = Solver.failed_assumptions solver in
+      let aborted = ref false in
+      (* Deletion-based shrinking to a minimal core (an irreducible
+         unsatisfiable subset of groups).  Invariant: [kept @ cands] is
+         an unsatisfiable assumption set, and every member of [kept]
+         has been proven necessary — removable-necessity is monotone
+         under further deletions, so the final set is minimal.  Each
+         Unsat answer also commits its (possibly much smaller) failed
+         subset, which is what makes the descent cheap in practice. *)
+      let rec shrink kept cands =
+        match cands with
+        | [] -> kept
+        | c :: rest ->
+            if Deadline.expired deadline then begin
+              aborted := true;
+              kept @ cands
+            end
+            else begin
+              match solve_under (kept @ rest) with
+              | Solver.Unsat ->
+                  let f = Solver.failed_assumptions solver in
+                  shrink
+                    (List.filter (fun l -> List.mem l f) kept)
+                    (List.filter (fun l -> List.mem l f) rest)
+              | Solver.Sat -> shrink (kept @ [ c ]) rest
+              | Solver.Unknown ->
+                  aborted := true;
+                  kept @ cands
+            end
+      in
+      let lits = if minimize && first <> [] then shrink [] first else first in
+      (* the empty core (contradictory hard rows) is trivially minimal *)
+      let minimized = minimize && not !aborted in
+      Core
+        {
+          groups = labels_of enc.Encode.selectors lits;
+          minimized;
+          sat_calls = !sat_calls;
+        }
+
+let check ?(deadline = Deadline.none) model labels =
+  let enc = Encode.encode_grouped model in
+  let sels =
+    List.filter_map
+      (fun (g, l) -> if List.mem g labels then Some l else None)
+      enc.Encode.selectors
+  in
+  match Solver.solve_with ~deadline ~assumptions:sels enc.Encode.g_solver with
+  | Solver.Unsat -> Some true
+  | Solver.Sat -> Some false
+  | Solver.Unknown -> None
+
+let restrict model labels =
+  let sub = Model.create ~name:(Model.name model ^ "+core") () in
+  for v = 0 to Model.nvars model - 1 do
+    ignore (Model.add_binary sub (Model.var_name model v))
+  done;
+  List.iter
+    (fun (r : Model.row) ->
+      let keep =
+        match r.Model.group with None -> true | Some g -> List.mem g labels
+      in
+      if keep then
+        Model.add_row sub ~name:r.Model.name ?group:r.Model.group r.Model.terms
+          r.Model.sense r.Model.rhs)
+    (Model.rows model);
+  sub

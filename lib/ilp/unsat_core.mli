@@ -1,0 +1,57 @@
+(** Explainable infeasibility: group-level unsat cores of 0-1 models.
+
+    An [Infeasible] verdict from a complete engine proves that no
+    assignment exists, but says nothing about {e why}.  This module
+    localises the blame: the model's rows are partitioned into named
+    constraint groups (the [?group] label of {!Model.add_row}), each
+    group is compiled to one selector literal guarding its clauses
+    ({!Encode.encode_grouped}), and the whole set of selectors is
+    solved as assumptions ({!Cgra_satoca.Solver.solve_with}).  When the
+    answer is [Unsat], the failed assumptions name a subset of groups
+    that is infeasible on its own (together with the ungrouped hard
+    rows) — an {e unsat core} in human-meaningful labels such as
+    [place:op7] or [route:val3].
+
+    Cores from final-conflict analysis are sound but often loose;
+    deletion-based shrinking tightens them to a {e minimal} core (every
+    member necessary), reusing one incremental solver — each deletion
+    probe is a [solve_with] on the same clause database. *)
+
+type core = {
+  groups : string list;
+      (** group labels whose conjunction (plus hard rows) is
+          infeasible, in model-construction order *)
+  minimized : bool;
+      (** the core is minimal: dropping any single group makes the
+          remainder satisfiable.  [false] when shrinking was skipped or
+          cut short by the deadline (the core is still sound). *)
+  sat_calls : int;  (** incremental SAT calls spent, shrinking included *)
+}
+
+type verdict =
+  | Core of core        (** the model is infeasible; here is the blame *)
+  | Satisfiable         (** nothing to explain *)
+  | Unknown             (** deadline expired before the first answer *)
+
+val extract :
+  ?deadline:Cgra_util.Deadline.t -> ?minimize:bool -> Model.t -> verdict
+(** Decide the model with every group selectable and, on infeasibility,
+    return a core of group labels.  [minimize] (default [true])
+    applies deletion-based shrinking under the same deadline; a
+    deadline hit mid-shrink returns the best sound core found so far
+    with [minimized = false].  A model whose hard rows are themselves
+    contradictory yields an empty core. *)
+
+val check :
+  ?deadline:Cgra_util.Deadline.t -> Model.t -> string list -> bool option
+(** [check model labels] re-solves from scratch (fresh solver, fresh
+    encoding) with only the named groups selected: [Some true] means
+    the labelled groups plus the hard rows are infeasible — the
+    verification step behind every reported core — [Some false] means
+    satisfiable, [None] means the deadline expired. *)
+
+val restrict : Model.t -> string list -> Model.t
+(** A copy of the model containing all variables, the hard rows, and
+    exactly the rows of the named groups (objective dropped to
+    [Feasibility]) — the core as a standalone model, convenient for
+    brute-force cross-checks and LP export. *)

@@ -128,4 +128,8 @@ module Totalizer = struct
       if k < Array.length t.outputs then
         Solver.add_clause t.solver [ Lit.negate t.outputs.(k) ]
     end
+
+  let bound_lit t k =
+    if k < 0 then invalid_arg "Totalizer.bound_lit: negative bound";
+    if k < Array.length t.outputs then Some (Lit.negate t.outputs.(k)) else None
 end

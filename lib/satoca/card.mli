@@ -40,5 +40,18 @@ module Totalizer : sig
 
   val assert_at_most : t -> int -> unit
   (** [assert_at_most t k] adds units forcing [sum <= k]; monotone —
-      later calls may only lower [k]. *)
+      later calls may only lower [k].  The unit is permanent; prefer
+      {!bound_lit} with {!Solver.solve_with} when the bound should not
+      outlive one solve (e.g. so a DRAT trace can certify the final
+      bound, or to keep the clause database reusable under a different
+      bound later). *)
+
+  val bound_lit : t -> int -> Lit.t option
+  (** [bound_lit t k] is the literal meaning [sum <= k] — the negated
+      output [~o_{k+1}] — meant to be passed to {!Solver.solve_with} as
+      an assumption, enforcing the bound for one solve without
+      committing the clause database to it.  [None] when [k] is at
+      least the input count (the bound is vacuous).  Does not affect
+      the monotone {!assert_at_most} state.
+      @raise Invalid_argument on a negative bound. *)
 end

@@ -15,6 +15,8 @@
     is derived or root-level propagation conflicts. *)
 
 type verdict = Valid | Invalid of string
+    (** [Invalid] carries a diagnostic locating the first failing
+        step. *)
 
 val check : ?require_empty:bool -> Proof.t -> verdict
 (** Replay and verify the whole trace.  With [require_empty] (default

@@ -31,3 +31,4 @@ val of_dimacs : int -> t
 (** Inverse of {!to_dimacs}; requires a non-zero argument. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints the DIMACS form, e.g. [-3]. *)

@@ -27,15 +27,23 @@ type event =
 type t
 
 val create : unit -> t
+(** A fresh, empty trace. *)
 
 val log_input : t -> Lit.t list -> unit
+(** Record an axiom clause (called by {!Solver.add_clause}). *)
+
 val log_add : t -> Lit.t list -> unit
+(** Record a derived clause (learnt, strengthened, or empty). *)
+
 val log_delete : t -> Lit.t list -> unit
+(** Record the deletion of a derived clause. *)
 
 val events : t -> event list
 (** All events in logging order. *)
 
 val n_inputs : t -> int
+(** Number of [Input] events. *)
+
 val n_steps : t -> int
 (** Derivation steps ([Add] + [Delete] events). *)
 

@@ -64,6 +64,8 @@ type t = {
   mutable rng_state : int64;
   mutable random_freq : float;  (* fraction of random decisions *)
   mutable proof : Proof.t option;  (* DRAT sink; None = no logging *)
+  mutable failed : int list;    (* failed assumptions of the last solve_with *)
+  mutable guard : int;          (* literal appended to every added clause, or -1 *)
 }
 
 let create () =
@@ -97,6 +99,8 @@ let create () =
     rng_state = 0x9E3779B97F4A7C15L;
     random_freq = 0.02;
     proof = None;
+    failed = [];
+    guard = -1;
   }
 
 let set_proof t proof = t.proof <- proof
@@ -457,7 +461,14 @@ let seed_phases t lits =
 
 (* ---------------- clause addition (root level only) ---------------- *)
 
+let set_guard t g =
+  (match g with
+  | Some l when l lsr 1 >= t.nvars -> invalid_arg "Solver.set_guard: unknown variable"
+  | _ -> ());
+  t.guard <- (match g with None -> -1 | Some l -> l)
+
 let add_clause t lits =
+  let lits = if t.guard < 0 then lits else t.guard :: lits in
   if t.ok then begin
     cancel_until t 0;
     (* normalise: sort, dedupe, drop tautologies and false-at-root lits *)
@@ -577,6 +588,40 @@ let analyze t confl learnt_out =
     !btlevel
   end
 
+(* Final-conflict analysis (MiniSat's analyzeFinal): [a] is the next
+   assumption literal, found false under the previous assumption levels.
+   Walk the trail top-down from the implied literal [~a], expanding
+   reasons; decisions reached this way are exactly the earlier
+   assumptions responsible.  Returns the failed assumptions in the
+   polarity the caller passed them, [a] included.  Only called while
+   every decision on the trail is an assumption. *)
+let analyze_final t a =
+  let out = ref [ a ] in
+  if decision_level t > 0 then begin
+    let seen = t.seen in
+    Bytes.set seen (a lsr 1) '\001';
+    let bottom = Veci.get t.trail_lim 0 in
+    for i = Veci.size t.trail - 1 downto bottom do
+      let l = Veci.get t.trail i in
+      let v = l lsr 1 in
+      if Bytes.get seen v = '\001' then begin
+        (if t.reason.(v) < 0 then begin
+           if t.level.(v) > 0 && l <> a then out := l :: !out
+         end
+         else begin
+           let c = Vec.get t.clauses t.reason.(v) in
+           for j = 1 to Array.length c.lits - 1 do
+             let u = c.lits.(j) lsr 1 in
+             if t.level.(u) > 0 then Bytes.set seen u '\001'
+           done
+         end);
+        Bytes.set seen v '\000'
+      end
+    done;
+    Bytes.set seen (a lsr 1) '\000'
+  end;
+  !out
+
 let record_learnt t learnt =
   let n = Veci.size learnt in
   (match t.proof with
@@ -668,9 +713,16 @@ let pick_branch_var t =
     in
     go ()
 
-let solve ?(deadline = Deadline.none) t =
+let solve_with ?(deadline = Deadline.none) ~assumptions t =
+  List.iter
+    (fun l ->
+      if l lsr 1 >= t.nvars then invalid_arg "Solver.solve_with: unknown variable")
+    assumptions;
+  t.failed <- [];
   if not t.ok then Unsat
   else begin
+    let assumptions = Array.of_list assumptions in
+    let n_assumptions = Array.length assumptions in
     cancel_until t 0;
     t.trail_head <- 0;
     let learnt_scratch = Veci.create () in
@@ -688,6 +740,8 @@ let solve ?(deadline = Deadline.none) t =
            if decision_level t = 0 then begin
              (match t.proof with Some p -> Proof.log_add p [] | None -> ());
              t.ok <- false;
+             (* a root conflict refutes the clause set itself: no
+                assumption is to blame, [failed] stays empty *)
              result := Some Unsat
            end
            else begin
@@ -712,6 +766,24 @@ let solve ?(deadline = Deadline.none) t =
              incr restart_no;
              conflicts_left := 100 * luby (!restart_no + 1);
              cancel_until t 0
+           end
+           else if decision_level t < n_assumptions then begin
+             (* assumption levels come before free decisions: each
+                assumption occupies one decision level (a dummy level
+                when already entailed), so after any backjump the
+                [decision_level < n_assumptions] test resumes the
+                prefix at exactly the right index *)
+             let a = assumptions.(decision_level t) in
+             match lit_val t a with
+             | 1 -> Veci.push t.trail_lim (Veci.size t.trail)
+             | 0 ->
+                 (* the assumption is refuted under the earlier ones:
+                    extract the responsible subset *)
+                 t.failed <- analyze_final t a;
+                 result := Some Unsat
+             | _ ->
+                 Veci.push t.trail_lim (Veci.size t.trail);
+                 enqueue t a (-1)
            end
            else begin
              t.decisions <- t.decisions + 1;
@@ -746,6 +818,10 @@ let solve ?(deadline = Deadline.none) t =
     | Some Unsat -> cancel_until t 0);
     match !result with Some r -> r | None -> assert false
   end
+
+let solve ?deadline t = solve_with ?deadline ~assumptions:[] t
+
+let failed_assumptions t = t.failed
 
 let value t v =
   if Array.length t.model > v then t.model.(v) = 1 else Char.code (Bytes.get t.phase v) = 1

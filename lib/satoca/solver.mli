@@ -47,7 +47,21 @@ val add_clause : t -> Lit.t list -> unit
 (** Add a clause over existing variables.  Tautologies are dropped and
     duplicate literals merged.  Adding the empty clause (or a clause
     falsified at the root level) makes the instance permanently
-    unsatisfiable.  Must not be called during [solve]. *)
+    unsatisfiable.  Must not be called during [solve].  While a guard
+    literal is set (see {!set_guard}) it is appended to the clause
+    first. *)
+
+val set_guard : t -> Lit.t option -> unit
+(** Set (or with [None] clear) the current {e guard literal}: while
+    set, every clause passed to {!add_clause} gets the literal appended
+    before normalisation, relativising the clause to the guard.  This
+    is how constraint groups are compiled for unsat-core extraction:
+    encode each group under guard [~s_g] for a fresh selector variable
+    [s_g], then {!solve_with} the selectors as assumptions — the failed
+    assumptions name the groups in conflict.  Auxiliary variables
+    created by encodings are per-clause-set, so guarding their defining
+    clauses is sound: deselecting a group merely leaves its encoding
+    unconstrained. *)
 
 val ok : t -> bool
 (** [false] once a root-level conflict has been established. *)
@@ -66,7 +80,32 @@ val set_proof : t -> Proof.t option -> unit
 val solve : ?deadline:Cgra_util.Deadline.t -> t -> result
 (** Decide the current clause set.  After [Sat], {!value} reads the
     model; the model remains valid until the next [add_clause] or
-    [solve]. *)
+    [solve].  Equivalent to [solve_with ~assumptions:[]]. *)
+
+val solve_with :
+  ?deadline:Cgra_util.Deadline.t -> assumptions:Lit.t list -> t -> result
+(** Decide the clause set {e under} the given assumption literals,
+    without committing to them: assumptions are enqueued as the first
+    decisions (one decision level each), so learnt clauses remain
+    implied by the clause set alone and the solver stays fully
+    reusable afterwards — the incremental-SAT interface of
+    MiniSat-style [solve(assumps)].
+
+    [Sat] means satisfiable with every assumption true (the model
+    assigns them).  [Unsat] means the clause set entails the negation
+    of the assumptions' conjunction; {!failed_assumptions} then yields
+    the subset established in conflict by final-conflict analysis.  An
+    [Unsat] under non-empty failed assumptions does {e not} make the
+    solver [not ok] — only a root-level conflict (unconditional
+    unsatisfiability) does.
+    @raise Invalid_argument on literals over unknown variables. *)
+
+val failed_assumptions : t -> Lit.t list
+(** After {!solve_with} returned [Unsat]: a subset of the assumptions
+    (in the polarity passed) whose conjunction the clause set refutes —
+    an {e assumption core}, not guaranteed minimal.  Empty when the
+    clause set is unsatisfiable on its own (a root-level conflict).
+    Reset by the next [solve_with] call. *)
 
 val value : t -> int -> bool
 (** Model value of a variable (only meaningful after [Sat]; variables

@@ -4,16 +4,16 @@ module Deadline = Cgra_util.Deadline
    (Feasible or Infeasible — both are proofs, and complete engines
    cannot disagree) wins and cancels the rest through the shared flag
    that every engine's deadline polls. *)
-let race ?(variants = Runner.portfolio_variants) ?certify (job : Job.t) =
+let race ?(variants = Runner.portfolio_variants) ?certify ?explain (job : Job.t) =
   match variants with
   | [] -> invalid_arg "Portfolio.race: empty variant list"
-  | [ v ] -> Runner.run_variant ?certify v job
+  | [ v ] -> Runner.run_variant ?certify ?explain v job
   | first :: rest ->
       let t0 = Deadline.now () in
       let cancel = Deadline.new_cancellation () in
       let winner = Atomic.make None in
       let attempt v =
-        let r = Runner.run_variant ~cancel ?certify v job in
+        let r = Runner.run_variant ~cancel ?certify ?explain v job in
         if Record.definitive r then
           if Atomic.compare_and_set winner None (Some r) then Deadline.cancel cancel;
         r

@@ -14,9 +14,12 @@
     [total_seconds] is the race's wall clock; [solve_seconds] /
     [sat_calls] / [presolve_fixed] are the winner's own statistics. *)
 
-val race : ?variants:Runner.variant list -> ?certify:bool -> Job.t -> Record.t
+val race :
+  ?variants:Runner.variant list -> ?certify:bool -> ?explain:bool -> Job.t -> Record.t
 (** Race [variants] (default {!Runner.portfolio_variants}).
     [certify] requests DRAT-certified verdicts from every racer (see
     {!Runner.run_variant}); the winner's [certified] field is reported.
+    [explain] asks each racer for a constraint-group unsat core on an
+    [Infeasible] verdict; the winner's [core] is journaled.
     @raise Invalid_argument on an empty variant list.  A singleton
     list degenerates to a plain {!Runner.run_variant} call. *)

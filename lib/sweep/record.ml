@@ -10,6 +10,7 @@ type t = {
   sat_calls : int;
   presolve_fixed : int;
   certified : bool;
+  core : string list;
 }
 
 let error job msg =
@@ -23,6 +24,7 @@ let error job msg =
     sat_calls = 0;
     presolve_fixed = 0;
     certified = false;
+    core = [];
   }
 
 let status_to_string = function
@@ -52,7 +54,14 @@ let to_json r =
     ]
   in
   let extra = match r.status with Error msg -> [ ("message", Jsonl.Str msg) ] | _ -> [] in
-  Jsonl.Obj (base @ extra)
+  (* [core] is journaled only when an explanation was extracted, so
+     plain sweeps keep their compact lines. *)
+  let core =
+    match r.core with
+    | [] -> []
+    | groups -> [ ("core", Jsonl.List (List.map (fun g -> Jsonl.Str g) groups)) ]
+  in
+  Jsonl.Obj (base @ core @ extra)
 
 let of_json j =
   let str k = Option.bind (Jsonl.member k j) Jsonl.to_str in
@@ -90,6 +99,11 @@ let of_json j =
             certified =
               Option.value ~default:false
                 (Option.bind (Jsonl.member "certified" j) Jsonl.to_bool);
+            (* absent in pre-explanation journals: read as no core *)
+            core =
+              (match Jsonl.member "core" j with
+              | Some (Jsonl.List items) -> List.filter_map Jsonl.to_str items
+              | _ -> []);
           })
         status
   | _ -> Stdlib.Error "missing required field (benchmark/arch/size/contexts/status)"

@@ -26,6 +26,12 @@ type t = {
           ({!Cgra_core.Check} for [Feasible], a checked DRAT refutation
           for [Infeasible]); [false] for timeouts, errors, uncertified
           sweeps and records from pre-certification journals *)
+  core : string list;
+      (** constraint-group unsat core for an explained [Infeasible]
+          cell (see {!Cgra_ilp.Unsat_core}); [[]] when no explanation
+          was requested or extracted, and for records from
+          pre-explanation journals.  Journaled as a ["core"] JSON array
+          only when non-empty. *)
 }
 
 val error : Job.t -> string -> t

@@ -74,9 +74,13 @@ let record_of_result (job : Job.t) ~engine ~total_seconds result =
     sat_calls = info.IM.sat_calls;
     presolve_fixed = info.IM.presolve_fixed;
     certified = info.IM.certified;
+    core =
+      (match info.IM.diagnosis with
+      | Some d -> d.IM.core
+      | None -> []);
   }
 
-let run_variant ?cancel ?certify (variant : variant) (job : Job.t) =
+let run_variant ?cancel ?certify ?explain (variant : variant) (job : Job.t) =
   let t0 = Deadline.now () in
   match prepare job with
   | Error msg -> Record.error job msg
@@ -87,7 +91,7 @@ let run_variant ?cancel ?certify (variant : variant) (job : Job.t) =
       in
       match
         IM.map ~objective:Formulation.Feasibility ~engine:variant.engine
-          ~deadline:(deadline_of job) ?cancel ~warm_start ?certify dfg mrrg
+          ~deadline:(deadline_of job) ?cancel ~warm_start ?certify ?explain dfg mrrg
       with
       | result ->
           record_of_result job ~engine:variant.name
@@ -98,4 +102,5 @@ let run_variant ?cancel ?certify (variant : variant) (job : Job.t) =
             engine = variant.name;
           })
 
-let run ?cancel ?certify (job : Job.t) = run_variant ?cancel ?certify default_variant job
+let run ?cancel ?certify ?explain (job : Job.t) =
+  run_variant ?cancel ?certify ?explain default_variant job

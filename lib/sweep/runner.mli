@@ -21,15 +21,18 @@ val default_variant : variant
 val portfolio_variants : variant list
 (** The racing portfolio: cold SAT, warm SAT, branch-and-bound. *)
 
-val run_variant : ?cancel:bool Atomic.t -> ?certify:bool -> variant -> Job.t -> Record.t
+val run_variant :
+  ?cancel:bool Atomic.t -> ?certify:bool -> ?explain:bool -> variant -> Job.t -> Record.t
 (** Run one engine variant under the job's time budget.  [cancel]
     attaches a shared cancellation flag (see
     {!Cgra_util.Deadline.with_cancellation}); a cancelled run records
     [Timeout].  [certify] (default [false]) requests DRAT-certified
     infeasibility verdicts (see {!Cgra_core.Ilp_mapper.map}); the
-    record's [certified] field reports the outcome. *)
+    record's [certified] field reports the outcome.  [explain] (default
+    [false]) extracts a constraint-group unsat core for an [Infeasible]
+    verdict and journals it in the record's [core] field. *)
 
-val run : ?cancel:bool Atomic.t -> ?certify:bool -> Job.t -> Record.t
+val run : ?cancel:bool Atomic.t -> ?certify:bool -> ?explain:bool -> Job.t -> Record.t
 (** [run_variant default_variant]. *)
 
 val prepare : Job.t -> (Cgra_dfg.Dfg.t * Cgra_mrrg.Mrrg.t, string) result

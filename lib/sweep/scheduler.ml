@@ -6,7 +6,7 @@ type stats = { ran : int; skipped : int; wall_seconds : float }
 
 module Deadline = Cgra_util.Deadline
 
-let run ?(jobs = 1) ?(portfolio = false) ?certify ?(skip = fun _ -> false)
+let run ?(jobs = 1) ?(portfolio = false) ?certify ?explain ?(skip = fun _ -> false)
     ?(on_event = fun _ -> ()) job_list =
   let t0 = Deadline.now () in
   let all = Array.of_list job_list in
@@ -21,7 +21,9 @@ let run ?(jobs = 1) ?(portfolio = false) ?certify ?(skip = fun _ -> false)
     Fun.protect ~finally:(fun () -> Mutex.unlock event_mutex) (fun () -> try on_event e with _ -> ())
   in
   let execute job =
-    try if portfolio then Portfolio.race ?certify job else Runner.run ?certify job
+    try
+      if portfolio then Portfolio.race ?certify ?explain job
+      else Runner.run ?certify ?explain job
     with e -> Record.error job (Printexc.to_string e)
   in
   let worker w =

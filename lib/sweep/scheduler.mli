@@ -25,6 +25,7 @@ val run :
   ?jobs:int ->
   ?portfolio:bool ->
   ?certify:bool ->
+  ?explain:bool ->
   ?skip:(Job.t -> bool) ->
   ?on_event:(event -> unit) ->
   Job.t list ->
@@ -34,6 +35,8 @@ val run :
     1) and returns their records in input order.  [portfolio] races
     {!Runner.portfolio_variants} per job instead of the single default
     engine.  [certify] requests DRAT-certified verdicts from every job
-    (see {!Runner.run_variant}).  [skip] implements resume: skipped
-    jobs produce no record here (their records already live in the
+    (see {!Runner.run_variant}).  [explain] journals a constraint-group
+    unsat core with every [Infeasible] record (the definitive 0-cells
+    of the Table-2 grid).  [skip] implements resume: skipped jobs
+    produce no record here (their records already live in the
     journal). *)

@@ -215,6 +215,133 @@ let test_lp_format_content () =
   Alcotest.(check bool) "row" true (has "r1: 2 x - 1 yy <= 1");
   Alcotest.(check bool) "End" true (has "End")
 
+(* ---------------- unsat cores ---------------- *)
+
+module Unsat_core = Cgra_ilp.Unsat_core
+
+let test_core_basic () =
+  (* g1 (x+y>=2) and g2 (x+y<=1) clash; g3 is an innocent bystander *)
+  let m = Model.create ~name:"core" () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  let z = Model.add_binary m "z" in
+  Model.add_row m ~group:"g1" [ (1, x); (1, y) ] Model.Ge 2;
+  Model.add_row m ~group:"g2" [ (1, x); (1, y) ] Model.Le 1;
+  Model.add_row m ~group:"g3" [ (1, z) ] Model.Le 1;
+  (match Unsat_core.extract m with
+  | Unsat_core.Core c ->
+      Alcotest.(check (list string)) "exact core" [ "g1"; "g2" ] c.Unsat_core.groups;
+      Alcotest.(check bool) "minimized" true c.Unsat_core.minimized;
+      Alcotest.(check (option bool)) "check confirms" (Some true)
+        (Unsat_core.check m c.Unsat_core.groups)
+  | Unsat_core.Satisfiable -> Alcotest.fail "model is infeasible"
+  | Unsat_core.Unknown -> Alcotest.fail "no deadline was set");
+  Alcotest.(check (option bool)) "g3 alone is satisfiable" (Some false)
+    (Unsat_core.check m [ "g3" ])
+
+let test_core_satisfiable () =
+  let m = Model.create ~name:"sat" () in
+  let x = Model.add_binary m "x" in
+  Model.add_row m ~group:"g1" [ (1, x) ] Model.Ge 1;
+  Alcotest.(check bool) "satisfiable verdict" true (Unsat_core.extract m = Unsat_core.Satisfiable)
+
+let test_core_hard_rows_contradictory () =
+  (* when the ungrouped rows alone are contradictory no group is to
+     blame: the core is empty *)
+  let m = Model.create ~name:"hard" () in
+  let x = Model.add_binary m "x" in
+  Model.add_row m [ (1, x) ] Model.Ge 1;
+  Model.add_row m [ (1, x) ] Model.Le 0;
+  Model.add_row m ~group:"g1" [ (1, x) ] Model.Le 1;
+  match Unsat_core.extract m with
+  | Unsat_core.Core c ->
+      Alcotest.(check (list string)) "empty core" [] c.Unsat_core.groups;
+      Alcotest.(check (option bool)) "empty core checks infeasible" (Some true)
+        (Unsat_core.check m [])
+  | Unsat_core.Satisfiable | Unsat_core.Unknown -> Alcotest.fail "hard rows are contradictory"
+
+let test_core_restrict () =
+  let m = Model.create ~name:"restrict" () in
+  let x = Model.add_binary m "x" in
+  let y = Model.add_binary m "y" in
+  Model.add_row m ~group:"lo" [ (1, x); (1, y) ] Model.Ge 2;
+  Model.add_row m ~group:"hi" [ (1, x); (1, y) ] Model.Le 1;
+  Model.set_objective m (Model.Minimize [ (1, x) ]);
+  let sub = Unsat_core.restrict m [ "lo" ] in
+  (match Solve.solve ~engine:Solve.Brute_force sub with
+  | Solve.Optimal _ -> ()
+  | _ -> Alcotest.fail "lo alone should be satisfiable");
+  match Solve.solve ~engine:Solve.Brute_force (Unsat_core.restrict m [ "lo"; "hi" ]) with
+  | Solve.Infeasible -> ()
+  | _ -> Alcotest.fail "lo+hi should be infeasible"
+
+(* Random grouped models: rows are dealt into a handful of named groups
+   (and sometimes left hard), and every reported core must be sound —
+   itself infeasible under brute force — while every minimized core
+   must be exactly minimal: dropping any single group restores
+   satisfiability. *)
+let build_grouped_model (nvars, rows) =
+  let m = Model.create ~name:"gfuzz" () in
+  let vars = Array.init nvars (fun i -> Model.add_binary m (Printf.sprintf "v%d" i)) in
+  let term (c, i) = (c, vars.(abs i mod nvars)) in
+  List.iter
+    (fun (terms, sense, rhs, g) ->
+      let sense = match abs sense mod 3 with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq in
+      let group = match g with 0 -> None | n -> Some (Printf.sprintf "g%d" n) in
+      Model.add_row m ?group (List.map term terms) sense rhs)
+    rows;
+  m
+
+let gen_grouped_spec =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 6 in
+  let gen_term = pair (int_range (-3) 3) (int_range 0 (nvars - 1)) in
+  let gen_row =
+    let* terms = list_size (int_range 1 4) gen_term in
+    let* sense = int_range 0 2 in
+    let* rhs = int_range (-3) 4 in
+    let* g = int_range 0 4 in
+    return (terms, sense, rhs, g)
+  in
+  let* rows = list_size (int_range 1 10) gen_row in
+  return (nvars, rows)
+
+let print_grouped_spec spec = Lp_format.to_string (build_grouped_model spec)
+
+let prop_core_sound_and_minimal =
+  QCheck2.Test.make ~name:"unsat core is sound and minimal" ~count:300
+    ~print:print_grouped_spec gen_grouped_spec (fun spec ->
+      let m = build_grouped_model spec in
+      let infeasible labels =
+        Solve.solve ~engine:Solve.Brute_force (Unsat_core.restrict m labels) = Solve.Infeasible
+      in
+      match Unsat_core.extract m with
+      | Unsat_core.Unknown -> false
+      | Unsat_core.Satisfiable -> Solve.solve ~engine:Solve.Brute_force m <> Solve.Infeasible
+      | Unsat_core.Core c ->
+          let core = c.Unsat_core.groups in
+          (* sound: the named groups plus hard rows refute on their own *)
+          infeasible core
+          (* verified by the module's own re-solve too *)
+          && Unsat_core.check m core = Some true
+          (* minimal: every member is necessary *)
+          && c.Unsat_core.minimized
+          && List.for_all
+               (fun g -> not (infeasible (List.filter (fun g' -> g' <> g) core)))
+               core)
+
+let prop_core_extraction_preserves_verdict =
+  (* grouped assumption solving must agree with the plain engines on
+     the feasibility question itself *)
+  QCheck2.Test.make ~name:"core extraction agrees with plain solving" ~count:300
+    ~print:print_grouped_spec gen_grouped_spec (fun spec ->
+      let m = build_grouped_model spec in
+      let plain = Solve.solve ~engine:Solve.Brute_force m in
+      match Unsat_core.extract ~minimize:false m with
+      | Unsat_core.Core _ -> plain = Solve.Infeasible
+      | Unsat_core.Satisfiable -> plain <> Solve.Infeasible
+      | Unsat_core.Unknown -> false)
+
 (* ---------------- random cross-checks ---------------- *)
 
 let random_model rng =
@@ -379,6 +506,13 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_lp_roundtrip;
         Alcotest.test_case "content" `Quick test_lp_format_content;
       ] );
+    ( "ilp:unsat-core",
+      [
+        Alcotest.test_case "basic two-group clash" `Quick test_core_basic;
+        Alcotest.test_case "satisfiable verdict" `Quick test_core_satisfiable;
+        Alcotest.test_case "contradictory hard rows" `Quick test_core_hard_rows_contradictory;
+        Alcotest.test_case "restrict builds the sub-model" `Quick test_core_restrict;
+      ] );
     ( "ilp:properties",
       List.map QCheck_alcotest.to_alcotest
         [
@@ -388,5 +522,7 @@ let suites =
           prop_differential_status_stable_under_proof;
           prop_presolve_preserves_outcome;
           prop_lp_roundtrip_random;
+          prop_core_sound_and_minimal;
+          prop_core_extraction_preserves_verdict;
         ] );
   ]

@@ -147,6 +147,53 @@ let prop_ilp_mappings_always_verify =
       | IM.Mapped (m, _) -> Check.is_legal m
       | IM.Infeasible _ | IM.Timeout _ -> true)
 
+(* ---------------- infeasibility explanation ---------------- *)
+
+let test_explain_infeasible_cell () =
+  (* the mac/homo-orth/2x2/ii1 Table-2 cell is provably infeasible
+     (five operations, four FUs); the explanation must localise exactly
+     that clash, verify it by re-solving, and the core must be a real
+     core: infeasible on its own as a standalone model *)
+  let dfg = Benchmarks.mac () in
+  let mrrg = Build.elaborate (grid 2) ~ii:1 in
+  match IM.map ~warm_start:0.0 ~explain:true dfg mrrg with
+  | IM.Mapped _ | IM.Timeout _ -> Alcotest.fail "expected proven infeasibility"
+  | IM.Infeasible info -> (
+      match info.IM.diagnosis with
+      | None -> Alcotest.fail "no deadline was set: extraction must complete"
+      | Some d ->
+          Alcotest.(check bool) "core non-empty" true (d.IM.core <> []);
+          Alcotest.(check bool) "core minimized" true d.IM.core_minimized;
+          Alcotest.(check bool) "core verified" true d.IM.core_verified;
+          (* the blame reads in DFG/MRRG vocabulary *)
+          Alcotest.(check bool) "names conflicting operations" true (d.IM.conflict_ops <> []);
+          Alcotest.(check bool) "names contended resources" true
+            (d.IM.conflict_resources <> []);
+          List.iter
+            (fun label ->
+              Alcotest.(check bool)
+                (Printf.sprintf "label %s parses" label)
+                true
+                (Formulation.group_subject label <> None))
+            d.IM.core;
+          (* independent soundness check: the core's groups plus the
+             hard rows form an infeasible standalone model *)
+          let f = Formulation.build ~objective:Formulation.Feasibility dfg mrrg in
+          let sub = Cgra_ilp.Unsat_core.restrict f.Formulation.model d.IM.core in
+          (match Solve.solve ~deadline:(Deadline.after ~seconds:60.0) sub with
+          | Solve.Infeasible -> ()
+          | _ -> Alcotest.fail "reported core is not infeasible on its own");
+          (* minimality spot-check: dropping the first group frees it *)
+          let dropped = List.tl d.IM.core in
+          (match
+             Solve.solve
+               ~deadline:(Deadline.after ~seconds:60.0)
+               (Cgra_ilp.Unsat_core.restrict f.Formulation.model dropped)
+           with
+          | Solve.Optimal _ | Solve.Feasible _ -> ()
+          | Solve.Infeasible -> Alcotest.fail "core not minimal: first group is redundant"
+          | Solve.Timeout -> ()))
+
 (* ---------------- LP export of a real formulation ---------------- *)
 
 let test_lp_roundtrip_formulation () =
@@ -197,6 +244,8 @@ let suites =
         Alcotest.test_case "warm start consistent" `Slow test_warm_start_consistent;
         Alcotest.test_case "warm start on infeasible" `Quick test_warm_start_infeasible_unaffected;
         Alcotest.test_case "seed_phases reproduces model" `Quick test_seed_phases_reproduces_model;
+        Alcotest.test_case "explain localises an infeasible cell" `Quick
+          test_explain_infeasible_cell;
         Alcotest.test_case "LP roundtrip of a formulation" `Slow test_lp_roundtrip_formulation;
         Alcotest.test_case "ii=2 dominates ii=1" `Slow test_ii2_dominates_ii1;
       ] );

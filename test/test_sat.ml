@@ -330,6 +330,139 @@ let prop_at_most_k_random =
       | Solver.Unsat -> true
       | Solver.Unknown -> false)
 
+(* ---------------- assumptions ---------------- *)
+
+let test_assumptions_empty_is_solve () =
+  (* solve_with ~assumptions:[] must be the plain decision procedure,
+     on both a satisfiable and an unsatisfiable instance *)
+  let sat = Solver.create () in
+  ignore (Solver.new_vars sat 4);
+  Solver.add_clause sat [ Lit.pos 0; Lit.pos 1 ];
+  Solver.add_clause sat [ Lit.neg 0; Lit.pos 2 ];
+  Alcotest.(check bool) "sat" true (Solver.solve_with ~assumptions:[] sat = Solver.Sat);
+  Alcotest.(check (list int)) "no failed assumptions" [] (Solver.failed_assumptions sat);
+  let unsat = Solver.create () in
+  let v = Solver.new_var unsat in
+  Solver.add_clause unsat [ Lit.pos v ];
+  Solver.add_clause unsat [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve_with ~assumptions:[] unsat = Solver.Unsat);
+  Alcotest.(check (list int)) "empty core" [] (Solver.failed_assumptions unsat)
+
+let test_assumptions_conflicting_pair () =
+  (* assuming a and ¬a must fail without touching the clause database:
+     the failed set names the assumptions, and the solver stays usable *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  ignore (Solver.new_vars s 2);
+  Alcotest.(check bool) "unsat under a,¬a" true
+    (Solver.solve_with ~assumptions:[ Lit.pos a; Lit.neg a ] s = Solver.Unsat);
+  let failed = Solver.failed_assumptions s in
+  Alcotest.(check bool) "conflicting literal in core" true (List.mem (Lit.neg a) failed);
+  Alcotest.(check bool) "core within assumptions" true
+    (List.for_all (fun l -> l = Lit.pos a || l = Lit.neg a) failed);
+  Alcotest.(check bool) "solver still ok" true (Solver.ok s);
+  Alcotest.(check bool) "plain solve recovers sat" true (Solver.solve s = Solver.Sat)
+
+let test_assumptions_implied_conflict () =
+  (* (¬a∨b) ∧ (¬a∨¬b): assuming a is refuted by propagation, and the
+     core is exactly [a]; dropping the assumption restores Sat *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  let b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Solver.add_clause s [ Lit.neg a; Lit.neg b ];
+  Alcotest.(check bool) "unsat under a" true
+    (Solver.solve_with ~assumptions:[ Lit.pos a ] s = Solver.Unsat);
+  Alcotest.(check (list int)) "core is [a]" [ Lit.pos a ] (Solver.failed_assumptions s);
+  Alcotest.(check bool) "sat without assumptions" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a decided false" false (Solver.value s a)
+
+let test_assumptions_irrelevant_excluded () =
+  (* an assumption that plays no role in the conflict must not be
+     blamed: assume [c; a] where only a is refutable *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  let b = Solver.new_var s in
+  let c = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Solver.add_clause s [ Lit.neg a; Lit.neg b ];
+  Alcotest.(check bool) "unsat under c,a" true
+    (Solver.solve_with ~assumptions:[ Lit.pos c; Lit.pos a ] s = Solver.Unsat);
+  let failed = Solver.failed_assumptions s in
+  Alcotest.(check bool) "a blamed" true (List.mem (Lit.pos a) failed);
+  Alcotest.(check bool) "c not blamed" false (List.mem (Lit.pos c) failed)
+
+let test_assumptions_globally_unsat () =
+  (* when the clauses alone are contradictory the core is empty: no
+     assumption is to blame, and the solver is dead for good *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Solver.add_clause s [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true
+    (Solver.solve_with ~assumptions:[ Lit.pos a ] s = Solver.Unsat);
+  Alcotest.(check (list int)) "empty core" [] (Solver.failed_assumptions s);
+  Alcotest.(check bool) "solver dead" false (Solver.ok s)
+
+let test_assumptions_unknown_var () =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s 2);
+  Alcotest.check_raises "unknown variable rejected"
+    (Invalid_argument "Solver.solve_with: unknown variable") (fun () ->
+      ignore (Solver.solve_with ~assumptions:[ Lit.pos 7 ] s))
+
+let test_totalizer_bound_lit_reusable () =
+  (* assumption bounds, unlike assert_at_most, are not monotone: after
+     refuting <=2 against an at-least-3 floor the same solver must
+     still answer Sat for <=3 *)
+  let s = Solver.create () in
+  let base = List.init 6 (fun _ -> Lit.pos (Solver.new_var s)) in
+  let tot = Card.Totalizer.build s base in
+  Card.at_least_k s base 3;
+  let bound k =
+    match Card.Totalizer.bound_lit tot k with
+    | Some l -> [ l ]
+    | None -> []
+  in
+  Alcotest.(check bool) "<=2 unsat" true
+    (Solver.solve_with ~assumptions:(bound 2) s = Solver.Unsat);
+  Alcotest.(check bool) "<=3 still sat" true
+    (Solver.solve_with ~assumptions:(bound 3) s = Solver.Sat);
+  Alcotest.(check int) "exactly 3 true" 3 (count_true s base);
+  Alcotest.(check bool) "<=7 trivial (no output lit)" true (bound 7 = []);
+  Alcotest.check_raises "negative bound rejected"
+    (Invalid_argument "Totalizer.bound_lit: negative bound") (fun () ->
+      ignore (Card.Totalizer.bound_lit tot (-1)))
+
+let prop_solve_with_agrees_with_units =
+  (* solve_with ~assumptions must decide exactly like solving the
+     clauses plus one unit clause per assumption, and on Unsat the
+     failed subset must itself be contradictory with the clauses *)
+  QCheck2.Test.make ~name:"solve_with agrees with unit-clause encoding" ~count:300
+    QCheck2.Gen.(
+      let* nvars = int_range 1 8 in
+      let gen_lit =
+        map2 (fun v s -> if s then Lit.pos v else Lit.neg v) (int_range 0 (nvars - 1)) bool
+      in
+      let* clauses = list_size (int_range 0 10) (list_size (int_range 0 4) gen_lit) in
+      let* assumptions = list_size (int_range 0 4) gen_lit in
+      return (nvars, clauses, assumptions))
+    (fun (nvars, clauses, assumptions) ->
+      let s = Solver.create () in
+      ignore (Solver.new_vars s nvars);
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_force_sat nvars (clauses @ List.map (fun l -> [ l ]) assumptions) in
+      match Solver.solve_with ~assumptions s with
+      | Solver.Sat -> expected
+      | Solver.Unknown -> false
+      | Solver.Unsat ->
+          (not expected)
+          &&
+          let failed = Solver.failed_assumptions s in
+          List.for_all (fun l -> List.mem l assumptions) failed
+          && not (brute_force_sat nvars (clauses @ List.map (fun l -> [ l ]) failed)))
+
 (* ---------------- DIMACS ---------------- *)
 
 let test_dimacs_roundtrip () =
@@ -429,6 +562,20 @@ let suites =
         Alcotest.test_case "totalizer bound" `Quick test_totalizer_bound;
         Alcotest.test_case "totalizer tightening" `Quick test_totalizer_tightening;
       ] );
+    ( "sat:assumptions",
+      [
+        Alcotest.test_case "empty assumptions = solve" `Quick test_assumptions_empty_is_solve;
+        Alcotest.test_case "conflicting pair fails" `Quick test_assumptions_conflicting_pair;
+        Alcotest.test_case "implied conflict blames assumption" `Quick
+          test_assumptions_implied_conflict;
+        Alcotest.test_case "irrelevant assumption not blamed" `Quick
+          test_assumptions_irrelevant_excluded;
+        Alcotest.test_case "global unsat yields empty core" `Quick
+          test_assumptions_globally_unsat;
+        Alcotest.test_case "unknown variable rejected" `Quick test_assumptions_unknown_var;
+        Alcotest.test_case "totalizer bound_lit reusable" `Quick
+          test_totalizer_bound_lit_reusable;
+      ] );
     ( "sat:dimacs",
       [
         Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
@@ -442,6 +589,7 @@ let suites =
           prop_agrees_with_brute_force;
           prop_sat_model_valid;
           prop_at_most_k_random;
+          prop_solve_with_agrees_with_units;
           prop_dimacs_roundtrip_random;
         ] );
   ]

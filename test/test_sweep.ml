@@ -72,11 +72,43 @@ let test_record_roundtrip () =
       sat_calls = 3;
       presolve_fixed = 17;
       certified = true;
+      core = [];
     }
   in
   match Record.of_line (Record.to_line r) with
   | Error e -> Alcotest.failf "record reparse failed: %s" e
   | Ok r' -> Alcotest.(check bool) "record roundtrip" true (r = r')
+
+let test_record_core_roundtrip () =
+  (* an explained 0-cell journals its unsat core; the labels must
+     survive the JSONL trip byte-for-byte and in order *)
+  let r =
+    {
+      Record.job = job ~bench:"mac" ~contexts:1 ~limit:60.0 ();
+      status = Record.Infeasible;
+      engine = "sat";
+      total_seconds = 2.0;
+      solve_seconds = 1.5;
+      build_seconds = 0.5;
+      sat_calls = 9;
+      presolve_fixed = 0;
+      certified = false;
+      core = [ "place:mul0"; "excl:pe_0_0.fu"; "route:val2" ];
+    }
+  in
+  let line = Record.to_line r in
+  Alcotest.(check bool) "core journaled" true
+    (match Jsonl.of_string line with
+    | Ok j -> Jsonl.member "core" j <> None
+    | Error _ -> false);
+  (match Record.of_line line with
+  | Error e -> Alcotest.failf "core record reparse failed: %s" e
+  | Ok r' -> Alcotest.(check bool) "core record roundtrip" true (r = r'));
+  (* a coreless record must not grow a "core" key (compact plain sweeps) *)
+  let plain = { r with Record.core = [] } in
+  match Jsonl.of_string (Record.to_line plain) with
+  | Ok j -> Alcotest.(check bool) "no core key when empty" true (Jsonl.member "core" j = None)
+  | Error e -> Alcotest.failf "plain record line unparsable: %s" e
 
 let test_record_certified_default () =
   (* journals written before certification existed have no "certified"
@@ -262,6 +294,7 @@ let suites =
         Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
         Alcotest.test_case "jsonl rejects malformed" `Quick test_jsonl_errors;
         Alcotest.test_case "record line roundtrip" `Quick test_record_roundtrip;
+        Alcotest.test_case "record with unsat core roundtrip" `Quick test_record_core_roundtrip;
         Alcotest.test_case "legacy record defaults to uncertified" `Quick
           test_record_certified_default;
         Alcotest.test_case "error record roundtrip" `Quick test_record_error_roundtrip;
