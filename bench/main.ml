@@ -3,11 +3,15 @@
    Subcommands:
      table1            benchmark characteristics (paper Table 1)
      table2            feasibility grid, ILP mapper (paper Table 2)
-     fig8              SA mapper vs ILP mapper (paper Figure 8)
+     fig8              SA mapper vs ILP mapper (paper Figure 8); journaled,
+                       resumable, exits 1 if SA ever beats the exact mapper
      sizes             formulation sizes per cell (diagnostics)
      sweep             parallel sweep engine scaling (--jobs 1/2/4)
      certify           DRAT certification overhead (proof logging on vs off)
      explain           unsat-core extraction overhead on infeasible cells
+     crosscheck        native engine vs an external MILP backend on a small
+                       grid (skipped with a message when the solver binary
+                       is not installed); exits 5 on verdict disagreement
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -15,7 +19,11 @@
      --limit SECS      per-cell time limit (default 120)
      --size N          array size NxN (default 4, the paper's)
      --benchmark NAME  restrict to one benchmark (repeatable)
-     --seeds N         annealing attempts per cell in fig8 (default 3) *)
+     --seeds N         annealing attempts per cell in fig8 (default 3)
+     --jobs N          parallel workers for fig8 (default 1)
+     --journal BASE    fig8 journal base path (default "fig8"; writes
+                       BASE.ilp.jsonl and BASE.sa.jsonl, resumable)
+     --backend NAME    external backend for crosscheck (default "highs") *)
 
 module Dfg = Cgra_dfg.Dfg
 module Benchmarks = Cgra_dfg.Benchmarks
@@ -32,9 +40,14 @@ type options = {
   size : int;
   benchmarks : string list; (* empty = all *)
   seeds : int;
+  jobs : int;
+  journal : string;
+  backend : string;
 }
 
-let default_options = { limit = 120.0; size = 4; benchmarks = []; seeds = 3 }
+let default_options =
+  { limit = 120.0; size = 4; benchmarks = []; seeds = 3; jobs = 1; journal = "fig8";
+    backend = "highs" }
 
 let selected_benchmarks opts =
   match opts.benchmarks with
@@ -157,40 +170,88 @@ let run_table2 opts =
 (* Figure 8                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let sa_cell opts column dfg =
-  let mrrg = mrrg_for opts column in
-  (* a few annealing attempts per cell, each bounded by a slice of the
-     cell budget — the paper's "moderate parameters" *)
-  let slice = opts.limit /. float_of_int (max 1 opts.seeds) in
-  let rec attempt seed =
-    if seed > opts.seeds then false
-    else
-      let params = { Anneal.moderate with Anneal.seed } in
-      let deadline = Deadline.after ~seconds:slice in
-      match Anneal.map ~params ~deadline dfg mrrg with
-      | Anneal.Mapped _ -> true
-      | Anneal.Failed _ -> attempt (seed + 1)
+module Sweep_job = Cgra_sweep.Job
+module Sweep_store = Cgra_sweep.Store
+module Sweep_sched = Cgra_sweep.Scheduler
+module Sweep_record = Cgra_sweep.Record
+module Sweep_runner = Cgra_sweep.Runner
+module Sweep_grid = Cgra_sweep.Grid
+
+(* Both mappers sweep the full grid through the scheduler, each side
+   journaling to its own resumable JSONL file: BASE.ilp.jsonl for the
+   exact mapper, BASE.sa.jsonl for the annealing baseline.  A killed
+   run re-entered with the same --journal base redoes only the missing
+   cells. *)
+let fig8_side opts ~label ~path ?executor jobs =
+  let done_keys = Sweep_store.completed_keys (Sweep_store.load path) in
+  let skip j = Hashtbl.mem done_keys (Sweep_job.key j) in
+  let store = Sweep_store.append_to path in
+  let on_event = function
+    | Sweep_sched.Job_started _ -> ()
+    | Sweep_sched.Job_finished { index; total; record; _ } ->
+        Sweep_store.append store record;
+        Printf.eprintf "  [%s %d/%d] %-10s %s (%.1fs)\n%!" label (index + 1) total
+          (Sweep_record.status_to_string record.Sweep_record.status)
+          (Sweep_job.to_string record.Sweep_record.job)
+          record.Sweep_record.total_seconds
   in
-  attempt 1
+  let _, stats = Sweep_sched.run ~jobs:opts.jobs ?executor ~skip ~on_event jobs in
+  Sweep_store.close store;
+  if stats.Sweep_sched.skipped > 0 then
+    Printf.eprintf "  [%s] resumed: %d cell(s) from %s\n%!" label stats.Sweep_sched.skipped path;
+  Sweep_grid.latest_by_key (Sweep_store.load path)
 
 let run_fig8 opts =
   Printf.printf "== Figure 8: benchmarks mapped, SA mapper vs ILP mapper (%dx%d) ==\n" opts.size
     opts.size;
-  let columns = table2_columns opts in
-  let benches = selected_benchmarks opts in
+  let benchmarks = List.map fst (selected_benchmarks opts) in
+  let jobs =
+    Sweep_job.paper_grid ~size:opts.size ~contexts:[ 1; 2 ] ~limit:opts.limit ~benchmarks ()
+  in
+  let ilp = fig8_side opts ~label:"ilp" ~path:(opts.journal ^ ".ilp.jsonl") jobs in
+  let sa =
+    fig8_side opts ~label:"sa" ~path:(opts.journal ^ ".sa.jsonl")
+      ~executor:(fun j -> Sweep_runner.run_anneal ~seeds:opts.seeds j)
+      jobs
+  in
+  let feasible_count tbl arch ii =
+    List.length
+      (List.filter
+         (fun benchmark ->
+           let key =
+             Sweep_job.key
+               { Sweep_job.benchmark; arch; size = opts.size; contexts = ii; limit = opts.limit }
+           in
+           match Hashtbl.find_opt tbl key with
+           | Some (r : Sweep_record.t) -> r.Sweep_record.status = Sweep_record.Feasible
+           | None -> false)
+         benchmarks)
+  in
   Printf.printf "%-18s %12s %12s\n" "Architecture" "SA mapper" "ILP mapper";
+  let violations = ref [] in
   List.iter
-    (fun column ->
-      let sa = ref 0 and ilp = ref 0 in
+    (fun ii ->
       List.iter
-        (fun (_, mk) ->
-          let dfg = mk () in
-          if sa_cell opts column dfg then incr sa;
-          match ilp_cell opts column dfg with Feasible, _ -> incr ilp | _ -> ())
-        benches;
-      Printf.printf "%-18s %12d %12d\n%!" (column_header column) !sa !ilp)
-    columns;
-  print_newline ()
+        (fun (arch, _) ->
+          let sa_n = feasible_count sa arch ii and ilp_n = feasible_count ilp arch ii in
+          (* The exact mapper is complete: any cell SA can map is
+             feasible, so ILP losing a column means a mapper bug (or a
+             too-small --limit starving the exact side). *)
+          if ilp_n < sa_n then
+            violations := Printf.sprintf "%s/ii%d (SA %d > ILP %d)" arch ii sa_n ilp_n :: !violations;
+          Printf.printf "%-18s %12d %12d%s\n%!"
+            (Printf.sprintf "%s/ii%d" arch ii)
+            sa_n ilp_n
+            (if ilp_n < sa_n then "   ** SA BEATS EXACT MAPPER **" else ""))
+        (Lib.paper_configs ~size:opts.size))
+    [ 1; 2 ];
+  print_newline ();
+  match List.rev !violations with
+  | [] -> ()
+  | vs ->
+      Printf.eprintf "fig8: SA beat the complete mapper on %d architecture column(s): %s\n%!"
+        (List.length vs) (String.concat ", " vs);
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostics: formulation sizes                                      *)
@@ -400,6 +461,71 @@ let run_explain opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Cross-check: native exact engine vs an external MILP backend        *)
+(* ------------------------------------------------------------------ *)
+
+(* A restricted grid — one architecture, a handful of benchmarks, both
+   context counts — solved twice: once natively, once through an
+   external backend's LP-file round trip.  Prints both verdicts and
+   wall clocks side by side; any contradiction exits 5.  When the
+   solver binary is simply not installed the whole section degrades to
+   a logged skip, because a benchmark must run everywhere. *)
+let run_crosscheck opts =
+  let module Backend = Cgra_backend.Backend in
+  let module Registry = Cgra_backend.Registry in
+  Printf.printf "== Cross-check: native-sat vs %s (%dx%d, limit %.0fs) ==\n" opts.backend
+    opts.size opts.size opts.limit;
+  match Registry.find opts.backend with
+  | None ->
+      Printf.eprintf "crosscheck: unknown backend %S (known: %s)\n%!" opts.backend
+        (String.concat ", " (Registry.names ()));
+      exit 2
+  | Some b -> (
+      match b.Backend.available () with
+      | Backend.Unavailable reason ->
+          Printf.printf "crosscheck: skipped — backend %s unavailable (%s)\n\n%!" opts.backend
+            reason
+      | Backend.Available { version } ->
+          Printf.printf "backend %s: %s\n" opts.backend
+            (Option.value ~default:"version unknown" version);
+          let benchmarks =
+            match opts.benchmarks with [] -> [ "accum"; "mac"; "2x2-f"; "exp_4" ] | bs -> bs
+          in
+          let jobs =
+            Sweep_job.paper_grid ~size:opts.size ~contexts:[ 1; 2 ] ~limit:opts.limit
+              ~benchmarks ~archs:[ "homo-orth" ] ()
+          in
+          Printf.printf "  %-28s %-12s %8s   %-12s %8s\n" "cell" "native" "sec" opts.backend
+            "sec";
+          let disagreements = ref 0 in
+          List.iter
+            (fun job ->
+              let native = Sweep_runner.run job in
+              let ext =
+                Sweep_runner.run_variant (Sweep_runner.backend_variant opts.backend) job
+              in
+              let agreed =
+                Sweep_record.verdicts_agree ~status:native.Sweep_record.status
+                  ~objective:native.Sweep_record.objective ~status2:ext.Sweep_record.status
+                  ~objective2:ext.Sweep_record.objective
+              in
+              if not agreed then incr disagreements;
+              Printf.printf "  %-28s %-12s %7.2fs   %-12s %7.2fs%s\n%!"
+                (Sweep_job.to_string job)
+                (Sweep_record.status_to_string native.Sweep_record.status)
+                native.Sweep_record.total_seconds
+                (Sweep_record.status_to_string ext.Sweep_record.status)
+                ext.Sweep_record.total_seconds
+                (if agreed then "" else "   ** DISAGREEMENT **"))
+            jobs;
+          print_newline ();
+          if !disagreements > 0 then begin
+            Printf.eprintf "crosscheck: %d disagreement(s) between native-sat and %s\n%!"
+              !disagreements opts.backend;
+            exit 5
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -464,6 +590,15 @@ let parse_args () =
     | "--seeds" :: v :: rest ->
         opts := { !opts with seeds = int_of_string v };
         go rest
+    | "--jobs" :: v :: rest ->
+        opts := { !opts with jobs = int_of_string v };
+        go rest
+    | "--journal" :: v :: rest ->
+        opts := { !opts with journal = v };
+        go rest
+    | "--backend" :: v :: rest ->
+        opts := { !opts with backend = v };
+        go rest
     | cmd :: rest ->
         cmds := cmd :: !cmds;
         go rest
@@ -484,6 +619,7 @@ let () =
       | "sweep" -> run_sweep_scaling opts
       | "certify" -> run_certify opts
       | "explain" -> run_explain opts
+      | "crosscheck" -> run_crosscheck opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

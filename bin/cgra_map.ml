@@ -18,6 +18,8 @@ module Anneal = Cgra_core.Anneal
 module Mapping = Cgra_core.Mapping
 module Lp_format = Cgra_ilp.Lp_format
 module Deadline = Cgra_util.Deadline
+module Backend = Cgra_backend.Backend
+module Registry = Cgra_backend.Registry
 open Cmdliner
 
 (* ---------------- shared argument definitions ---------------- *)
@@ -128,13 +130,26 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let backend_arg =
+  let doc =
+    "Solver backend (see $(b,backends)): a native engine (native-sat, native-bnb) or an \
+     external MILP solver (highs, cbc, scip) run as a subprocess over the LP export, with \
+     its answer replayed through the independent checkers."
+  in
+  Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"NAME" ~doc)
+
 let map_cmd =
-  let run bench arch size contexts limit optimize certify =
+  let run bench arch size contexts limit optimize certify backend =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
     let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
-    let result = IM.map ~objective ~deadline:(deadline_of limit) ~certify dfg mrrg in
+    let result =
+      try IM.map ~objective ?backend ~deadline:(deadline_of limit) ~certify dfg mrrg
+      with Backend.Error msg ->
+        prerr_endline ("backend error: " ^ msg);
+        exit 1
+    in
     match result with
     | IM.Mapped (m, info) ->
         Printf.printf "feasible: %s\n" (Format.asprintf "%a" IM.pp_result result);
@@ -164,7 +179,30 @@ let map_cmd =
        ~doc:"Map a benchmark onto an architecture with the exact ILP mapper (paper Fig. 7).")
     Term.(
       const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg
-      $ certify_arg)
+      $ certify_arg $ backend_arg)
+
+let backends_cmd =
+  let run () =
+    Printf.printf "%-12s %-9s %-14s %s\n" "Name" "Kind" "Status" "Description";
+    List.iter
+      (fun (b : Backend.t) ->
+        let status, detail =
+          match b.Backend.available () with
+          | Backend.Available { version = Some v } -> ("available", Printf.sprintf " [%s]" v)
+          | Backend.Available { version = None } -> ("available", "")
+          | Backend.Unavailable why -> ("missing", Printf.sprintf " (%s)" why)
+        in
+        Printf.printf "%-12s %-9s %-14s %s%s\n" b.Backend.name
+          (Backend.kind_name b.Backend.kind)
+          status b.Backend.doc detail)
+      (Registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:
+         "List the solver backends: the built-in exact engines and the external MILP \
+          adapters, with PATH discovery and version capture for the external binaries.")
+    Term.(const run $ const ())
 
 let explain_cmd =
   let run bench arch size contexts limit =
@@ -390,8 +428,39 @@ let sweep_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run jobs portfolio certify explain resume out table benchmarks archs contexts limit size =
+  let cross_check_arg =
+    let doc =
+      "Re-solve every definitive cell with this solver backend (see $(b,backends)) and \
+       journal the second opinion; exit 5 if any verdict is contradicted."
+    in
+    Arg.(value & opt (some string) None & info [ "cross-check" ] ~docv:"BACKEND" ~doc)
+  in
+  let racers_arg =
+    let doc =
+      "Add this solver backend as an extra $(b,--portfolio) racer (repeatable); ignored \
+       without $(b,--portfolio)."
+    in
+    Arg.(value & opt_all string [] & info [ "racer" ] ~docv:"BACKEND" ~doc)
+  in
+  let run jobs portfolio certify explain cross_check racer_backends resume out table benchmarks
+      archs contexts limit size =
     let contexts = if contexts = [] then [ 1; 2 ] else contexts in
+    (* Unknown backend names die before, not three hours into, the sweep. *)
+    List.iter
+      (fun name ->
+        if Registry.find name = None then begin
+          Printf.eprintf "sweep: unknown backend %S (known: %s)\n%!" name
+            (String.concat ", " (Registry.names ()));
+          exit 1
+        end)
+      (Option.to_list cross_check @ racer_backends);
+    let racers =
+      match racer_backends with
+      | [] -> []
+      | backends ->
+          Cgra_sweep.Runner.default_racers (Domain.recommended_domain_count ())
+          @ List.map Cgra_sweep.Runner.backend_variant backends
+    in
     let grid = Sweep_job.paper_grid ~size ~contexts ~limit ~benchmarks ~archs () in
     let skip =
       if not resume then fun _ -> false
@@ -407,19 +476,45 @@ let sweep_cmd =
             (Sweep_job.to_string job)
       | Sweep_sched.Job_finished { index; total; worker; record } ->
           Sweep_store.append store record;
-          Printf.eprintf "[%d/%d] w%d %-10s %s (%s, %.2fs)%s\n%!" (index + 1) total worker
+          Printf.eprintf "[%d/%d] w%d %-10s %s (%s, %.2fs)%s%s\n%!" (index + 1) total worker
             (Sweep_record.status_to_string record.Sweep_record.status)
             (Sweep_job.to_string record.Sweep_record.job)
             record.Sweep_record.engine record.Sweep_record.total_seconds
             (match record.Sweep_record.core with
             | [] -> ""
             | core -> Printf.sprintf "  core: %s" (String.concat " " core))
+            (match record.Sweep_record.cross with
+            | None -> ""
+            | Some c ->
+                Printf.sprintf "  cross[%s]: %s%s" c.Sweep_record.backend
+                  (Sweep_record.status_to_string c.Sweep_record.status)
+                  (if c.Sweep_record.agreed then "" else "  ** DISAGREEMENT **"))
     in
-    let records, stats = Sweep_sched.run ~jobs ~portfolio ~certify ~explain ~skip ~on_event grid in
+    let records, stats =
+      Sweep_sched.run ~jobs ~portfolio ~racers ?cross_check ~certify ~explain ~skip ~on_event grid
+    in
     Sweep_store.close store;
     Printf.eprintf "sweep: %d ran, %d skipped (resume), %.1fs wall, journal %s\n%!"
       stats.Sweep_sched.ran stats.Sweep_sched.skipped stats.Sweep_sched.wall_seconds out;
     if table then print_string (Sweep_grid.render (Sweep_store.load out));
+    if stats.Sweep_sched.disagreements > 0 then begin
+      List.iter
+        (fun (r : Sweep_record.t) ->
+          if Sweep_record.disagreement r then
+            match r.Sweep_record.cross with
+            | Some c ->
+                Printf.eprintf "disagreement: %s primary=%s cross[%s]=%s\n%!"
+                  (Sweep_job.to_string r.Sweep_record.job)
+                  (Sweep_record.status_to_string r.Sweep_record.status)
+                  c.Sweep_record.backend
+                  (Sweep_record.status_to_string c.Sweep_record.status)
+            | None -> ())
+        records;
+      Printf.eprintf
+        "sweep: %d cross-check disagreement(s) — one of the solvers is wrong; see journal %s\n%!"
+        stats.Sweep_sched.disagreements out;
+      exit 5
+    end;
     if certify then begin
       (* A certified sweep must leave no definitive verdict without
          validated evidence; timeouts/errors are reported but are not
@@ -450,17 +545,20 @@ let sweep_cmd =
           OCaml domains, journaling every outcome to JSONL.  Re-running with $(b,--resume) \
           skips recorded jobs; $(b,--portfolio) races engines per job; $(b,--certify) \
           demands validated evidence for every definitive verdict and exits 4 otherwise; \
-          $(b,--explain) journals a constraint-group unsat core for every infeasible cell.")
+          $(b,--explain) journals a constraint-group unsat core for every infeasible cell; \
+          $(b,--cross-check) re-proves every definitive cell with a second solver backend \
+          and exits 5 on any contradiction.")
     Term.(
-      const run $ jobs_arg $ portfolio_arg $ certify_arg $ explain_arg $ resume_arg $ out_arg
-      $ table_arg $ benchmarks_arg $ archs_arg $ contexts_list_arg $ limit_arg $ size_arg)
+      const run $ jobs_arg $ portfolio_arg $ certify_arg $ explain_arg $ cross_check_arg
+      $ racers_arg $ resume_arg $ out_arg $ table_arg $ benchmarks_arg $ archs_arg
+      $ contexts_list_arg $ limit_arg $ size_arg)
 
 let main =
   let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in
   Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
     [
-      map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; benchmarks_cmd;
-      archs_cmd; mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
+      map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; backends_cmd;
+      benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

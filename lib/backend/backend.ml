@@ -1,0 +1,33 @@
+type availability = Available of { version : string option } | Unavailable of string
+
+type kind =
+  | Native of Cgra_ilp.Solve.engine
+  | External of { binary : string; dialect : Sol_parse.dialect }
+
+type report = {
+  outcome : Cgra_ilp.Solve.outcome;
+  wall_seconds : float;
+  note : string option;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  kind : kind;
+  available : unit -> availability;
+  solve : ?deadline:Cgra_util.Deadline.t -> Cgra_ilp.Model.t -> report;
+}
+
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Error msg -> Some (Printf.sprintf "Cgra_backend.Backend.Error(%S)" msg)
+    | _ -> None)
+
+let pp_availability fmt = function
+  | Available { version = Some v } -> Format.fprintf fmt "available (%s)" v
+  | Available { version = None } -> Format.pp_print_string fmt "available"
+  | Unavailable why -> Format.fprintf fmt "unavailable: %s" why
+
+let kind_name = function Native _ -> "native" | External _ -> "external"

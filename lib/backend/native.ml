@@ -1,0 +1,22 @@
+module Deadline = Cgra_util.Deadline
+module Solve = Cgra_ilp.Solve
+
+let make ~name ~doc engine =
+  {
+    Backend.name;
+    doc;
+    kind = Backend.Native engine;
+    available = (fun () -> Backend.Available { version = None });
+    solve =
+      (fun ?deadline model ->
+        let t0 = Deadline.now () in
+        let outcome = Solve.solve ?deadline ~engine model in
+        { Backend.outcome; wall_seconds = Deadline.elapsed_of ~start:t0; note = None });
+  }
+
+let sat =
+  make ~name:"native-sat" ~doc:"built-in CDCL SAT engine with totalizer descent"
+    Solve.Sat_backed
+
+let bnb =
+  make ~name:"native-bnb" ~doc:"built-in pseudo-boolean branch-and-bound" Solve.Branch_and_bound

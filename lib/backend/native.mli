@@ -1,0 +1,14 @@
+(** The in-process engines as backends.
+
+    Thin wrappers over {!Cgra_ilp.Solve}: always available, no
+    subprocess, no parsing.  They exist so the registry, the portfolio
+    racer and the cross-checker can treat "our CDCL SAT descent" and
+    "our branch-and-bound" uniformly with external MILP solvers. *)
+
+val sat : Backend.t
+(** [native-sat]: presolve + clausification + solution-improving
+    totalizer descent ({!Cgra_ilp.Solve.Sat_backed}). *)
+
+val bnb : Backend.t
+(** [native-bnb]: direct PB branch-and-bound
+    ({!Cgra_ilp.Solve.Branch_and_bound}). *)

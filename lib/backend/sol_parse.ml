@@ -1,0 +1,255 @@
+type dialect = Highs | Cbc | Scip
+
+type status = Optimal | Feasible | Infeasible | Unknown of string
+
+type t = { status : status; objective : float option; values : (string * float) list }
+
+let dialect_name = function Highs -> "highs" | Cbc -> "cbc" | Scip -> "scip"
+
+let pp_status fmt = function
+  | Optimal -> Format.pp_print_string fmt "optimal"
+  | Feasible -> Format.pp_print_string fmt "feasible"
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Unknown why -> Format.fprintf fmt "unknown (%s)" why
+
+let lines_of text =
+  String.split_on_char '\n' text
+  |> List.map (fun l ->
+         let l = if String.length l > 0 && l.[String.length l - 1] = '\r' then String.sub l 0 (String.length l - 1) else l in
+         String.trim l)
+
+let fields line = String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t') |> List.filter (( <> ) "")
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let contains_ci ~needle haystack =
+  let h = String.lowercase_ascii haystack and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* HiGHS raw solution style                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_highs text =
+  let lines = lines_of text in
+  (* "Model status" header, then the status word on the next non-empty
+     line *)
+  let rec model_status = function
+    | [] -> None
+    | "Model status" :: rest ->
+        let rec first_nonempty = function
+          | [] -> None
+          | "" :: r -> first_nonempty r
+          | s :: _ -> Some s
+        in
+        first_nonempty rest
+    | _ :: rest -> model_status rest
+  in
+  match model_status lines with
+  | None -> Error "highs: no `Model status' header"
+  | Some status_word ->
+      let primal_feasible =
+        let rec go = function
+          | [] -> false
+          | "# Primal solution values" :: rest ->
+              let rec first_nonempty = function
+                | [] -> false
+                | "" :: r -> first_nonempty r
+                | s :: _ -> s = "Feasible"
+              in
+              first_nonempty rest
+          | _ :: rest -> go rest
+        in
+        go lines
+      in
+      let objective =
+        List.find_map
+          (fun l ->
+            if starts_with ~prefix:"Objective" l then
+              match fields l with [ _; v ] -> float_of_string_opt v | _ -> None
+            else None)
+          lines
+      in
+      let values =
+        (* "# Columns <n>" then n "name value" lines, ended by the next
+           "# ..." section header *)
+        let rec go = function
+          | [] -> []
+          | l :: rest when starts_with ~prefix:"# Columns" l ->
+              let rec take acc = function
+                | [] -> List.rev acc
+                | l :: _ when starts_with ~prefix:"#" l -> List.rev acc
+                | "" :: rest -> take acc rest
+                | l :: rest -> (
+                    match fields l with
+                    | [ name; v ] -> (
+                        match float_of_string_opt v with
+                        | Some f -> take ((name, f) :: acc) rest
+                        | None -> take acc rest)
+                    | _ -> take acc rest)
+              in
+              take [] rest
+          | _ :: rest -> go rest
+        in
+        go lines
+      in
+      let status =
+        match status_word with
+        | "Optimal" -> Optimal
+        | "Infeasible" -> Infeasible
+        | other -> if primal_feasible then Feasible else Unknown other
+      in
+      Ok { status; objective; values }
+
+let render_highs s =
+  let b = Buffer.create 256 in
+  let status_word =
+    match s.status with
+    | Optimal -> "Optimal"
+    | Infeasible -> "Infeasible"
+    | Feasible -> "Time limit reached"
+    | Unknown why -> why
+  in
+  Buffer.add_string b (Printf.sprintf "Model status\n%s\n\n" status_word);
+  Buffer.add_string b "# Primal solution values\n";
+  if s.status = Optimal || s.status = Feasible then begin
+    Buffer.add_string b "Feasible\n";
+    (match s.objective with
+    | Some o -> Buffer.add_string b (Printf.sprintf "Objective %.10g\n" o)
+    | None -> ());
+    Buffer.add_string b (Printf.sprintf "# Columns %d\n" (List.length s.values));
+    List.iter (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%s %.10g\n" n v)) s.values;
+    Buffer.add_string b "# Rows 0\n"
+  end
+  else Buffer.add_string b "None\n";
+  Buffer.add_string b "# Dual solution values\nNone\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* CBC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let split_on_substring ~sep s =
+  let sl = String.length sep and l = String.length s in
+  let rec go i = if i + sl > l then None else if String.sub s i sl = sep then Some i else go (i + 1) in
+  match go 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + sl) (l - i - sl))
+
+let parse_cbc text =
+  match List.filter (( <> ) "") (lines_of text) with
+  | [] -> Error "cbc: empty solution file"
+  | header :: rest ->
+      let status_text, objective =
+        match split_on_substring ~sep:" - objective value " header with
+        | Some (st, obj) -> (String.trim st, float_of_string_opt (String.trim obj))
+        | None -> (header, None)
+      in
+      let values =
+        List.filter_map
+          (fun l ->
+            match fields l with
+            | _idx :: name :: v :: _ -> Option.map (fun f -> (name, f)) (float_of_string_opt v)
+            | _ -> None)
+          rest
+      in
+      let status =
+        if contains_ci ~needle:"infeasible" status_text then Infeasible
+        else if starts_with ~prefix:"Optimal" status_text then Optimal
+        else if starts_with ~prefix:"Stopped" status_text && values <> [] then Feasible
+        else Unknown status_text
+      in
+      Ok { status; objective; values }
+
+let render_cbc s =
+  let b = Buffer.create 256 in
+  let header =
+    match s.status with
+    | Optimal -> Printf.sprintf "Optimal - objective value %.8f" (Option.value ~default:0.0 s.objective)
+    | Infeasible -> "Infeasible - objective value 0.00000000"
+    | Feasible ->
+        Printf.sprintf "Stopped on time limit - objective value %.8f"
+          (Option.value ~default:0.0 s.objective)
+    | Unknown why -> why
+  in
+  Buffer.add_string b (header ^ "\n");
+  List.iteri
+    (fun i (n, v) -> Buffer.add_string b (Printf.sprintf "%7d %s %.10g %g\n" i n v 0.0))
+    s.values;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* SCIP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_scip text =
+  let lines = lines_of text in
+  let status_text =
+    List.find_map
+      (fun l ->
+        if starts_with ~prefix:"solution status:" l then
+          Some (String.trim (String.sub l 16 (String.length l - 16)))
+        else None)
+      lines
+  in
+  match status_text with
+  | None -> Error "scip: no `solution status:' line"
+  | Some status_text ->
+      let objective =
+        List.find_map
+          (fun l ->
+            if starts_with ~prefix:"objective value:" l then
+              float_of_string_opt (String.trim (String.sub l 16 (String.length l - 16)))
+            else None)
+          lines
+      in
+      let values =
+        List.filter_map
+          (fun l ->
+            if
+              l = "" || starts_with ~prefix:"solution status:" l
+              || starts_with ~prefix:"objective value:" l
+              || starts_with ~prefix:"no solution" l
+            then None
+            else
+              match fields l with
+              | name :: v :: _ -> Option.map (fun f -> (name, f)) (float_of_string_opt v)
+              | _ -> None)
+          lines
+      in
+      let status =
+        match status_text with
+        | "optimal" | "optimal solution found" -> Optimal
+        | "infeasible" -> Infeasible
+        | other -> if values <> [] then Feasible else Unknown other
+      in
+      Ok { status; objective; values }
+
+let render_scip s =
+  let b = Buffer.create 256 in
+  let status_text =
+    match s.status with
+    | Optimal -> "optimal"
+    | Infeasible -> "infeasible"
+    | Feasible -> "time limit reached"
+    | Unknown why -> why
+  in
+  Buffer.add_string b (Printf.sprintf "solution status: %s\n" status_text);
+  (match (s.status, s.objective) with
+  | (Optimal | Feasible), Some o -> Buffer.add_string b (Printf.sprintf "objective value: %20.10g\n" o)
+  | _ -> ());
+  if s.status = Infeasible then Buffer.add_string b "no solution available\n"
+  else
+    List.iter
+      (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%-40s %14.10g \t(obj:0)\n" n v))
+      s.values;
+  Buffer.contents b
+
+let parse dialect text =
+  match dialect with Highs -> parse_highs text | Cbc -> parse_cbc text | Scip -> parse_scip text
+
+let render dialect s =
+  match dialect with Highs -> render_highs s | Cbc -> render_cbc s | Scip -> render_scip s

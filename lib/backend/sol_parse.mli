@@ -1,0 +1,46 @@
+(** Solution-file parsing for external MILP solvers.
+
+    Each supported solver writes its answer in a different plain-text
+    dialect; this module turns any of them into one typed result that
+    the adapter layer can replay against the model.  Parsing is
+    deliberately lenient about whitespace and unknown trailing sections
+    (solution files carry duals, reduced costs and bases we do not
+    use), and strict about the parts we rely on: the status word and
+    the name/value column pairs.
+
+    The {!render} inverses exist for testing: a QCheck property checks
+    [parse (render s) = s] per dialect, and the fake-solver stubs used
+    by the end-to-end tests emit their canned answers through them. *)
+
+type dialect =
+  | Highs  (** [highs --solution_file] raw style *)
+  | Cbc    (** [cbc model.lp solve solution file] *)
+  | Scip   (** [scip -c "... write solution file ..."] *)
+
+type status =
+  | Optimal                   (** solved to proven optimality *)
+  | Feasible                  (** stopped early with an incumbent *)
+  | Infeasible                (** proven: no solution *)
+  | Unknown of string         (** stopped with nothing usable; the reason *)
+
+type t = {
+  status : status;
+  objective : float option;      (** solver-claimed objective, if printed *)
+  values : (string * float) list;
+      (** variable name/value pairs, file order; variables a solver
+          omits (CBC and SCIP print non-zeros only) are implicitly 0 *)
+}
+
+val parse : dialect -> string -> (t, string) result
+(** Parse one solution file's contents.  [Error] means the text does
+    not look like the dialect at all (e.g. an empty or truncated file);
+    a well-formed file whose status word is unrecognised parses to
+    [Unknown]. *)
+
+val render : dialect -> t -> string
+(** Render a solution in the dialect's on-disk syntax (round-trip
+    inverse of {!parse} for the fields we model). *)
+
+val dialect_name : dialect -> string
+
+val pp_status : Format.formatter -> status -> unit

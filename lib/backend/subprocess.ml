@@ -1,0 +1,95 @@
+module Deadline = Cgra_util.Deadline
+
+type outcome = { exit_code : int; killed : bool; seconds : float; output : string }
+
+let max_capture = 64 * 1024
+
+let find_in_path prog =
+  let executable p =
+    Sys.file_exists p
+    && (not (Sys.is_directory p))
+    && (try Unix.access p [ Unix.X_OK ]; true with Unix.Unix_error _ -> false)
+  in
+  if String.contains prog '/' then if executable prog then Some prog else None
+  else
+    let path = try Sys.getenv "PATH" with Not_found -> "" in
+    String.split_on_char ':' path
+    |> List.find_map (fun dir ->
+           if dir = "" then None
+           else
+             let candidate = Filename.concat dir prog in
+             if executable candidate then Some candidate else None)
+
+let read_capture path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = min (in_channel_length ic) max_capture in
+        really_input_string ic n)
+  with _ -> ""
+
+let run ?(deadline = Deadline.none) ~prog ~args () =
+  match find_in_path prog with
+  | None -> Error (Printf.sprintf "%s: not found on PATH" prog)
+  | Some resolved -> (
+      let capture = Filename.temp_file "cgra_proc" ".out" in
+      let cleanup () = try Sys.remove capture with Sys_error _ -> () in
+      try
+        let out_fd = Unix.openfile capture [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+        let null_fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+        let t0 = Deadline.now () in
+        let pid =
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.close out_fd;
+              Unix.close null_fd)
+            (fun () ->
+              Unix.create_process resolved (Array.of_list (prog :: args)) null_fd out_fd out_fd)
+        in
+        let killed = ref false in
+        (* Poll the child and the deadline together (interval backs off
+           so supervising a long solve stays cheap).  On expiry: SIGTERM,
+           one second of grace, then SIGKILL; the child is always
+           reaped before returning. *)
+        let rec wait interval =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+              if Deadline.expired deadline then begin
+                killed := true;
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                let grace = Deadline.now () in
+                let rec drain () =
+                  match Unix.waitpid [ Unix.WNOHANG ] pid with
+                  | 0, _ ->
+                      if Deadline.elapsed_of ~start:grace > 1.0 then begin
+                        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                        snd (Unix.waitpid [] pid)
+                      end
+                      else begin
+                        Unix.sleepf 0.02;
+                        drain ()
+                      end
+                  | _, status -> status
+                in
+                drain ()
+              end
+              else begin
+                Unix.sleepf interval;
+                wait (Float.min 0.25 (interval *. 1.5))
+              end
+          | _, status -> status
+        in
+        let status = wait 0.01 in
+        let exit_code =
+          if !killed then 124
+          else match status with Unix.WEXITED c -> c | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 124
+        in
+        let seconds = Deadline.elapsed_of ~start:t0 in
+        let output = read_capture capture in
+        cleanup ();
+        Ok { exit_code; killed = !killed; seconds; output }
+      with e ->
+        cleanup ();
+        Error (Printf.sprintf "%s: %s" prog (Printexc.to_string e)))

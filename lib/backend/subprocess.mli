@@ -1,0 +1,32 @@
+(** Deadline-aware subprocess execution for external solvers.
+
+    External MILP solvers run as child processes; the sweep engine's
+    deadlines and cancellation flags must be able to stop them, so the
+    waiter polls {!Cgra_util.Deadline.expired} and escalates SIGTERM →
+    SIGKILL on expiry.  Output (stdout and stderr interleaved) is
+    captured to a bounded string for version banners and error
+    reporting. *)
+
+type outcome = {
+  exit_code : int;  (** the child's exit code; 124 when [killed] *)
+  killed : bool;    (** terminated by us because the deadline expired *)
+  seconds : float;  (** wall clock from spawn to reap *)
+  output : string;  (** combined stdout+stderr, truncated to ~64 KiB *)
+}
+
+val run :
+  ?deadline:Cgra_util.Deadline.t ->
+  prog:string ->
+  args:string list ->
+  unit ->
+  (outcome, string) result
+(** Spawn [prog args] with stdin from [/dev/null], wait for it under
+    the deadline, and reap it.  [Error] only for spawn-level failures
+    (binary missing, fork failure); a solver that exits non-zero or is
+    killed still yields [Ok] with the corresponding [outcome] so the
+    caller can decide what a partial run means. *)
+
+val find_in_path : string -> string option
+(** Resolve a binary name against [$PATH] ([None] when absent or not
+    executable).  Absolute/relative paths containing a slash are
+    checked directly. *)

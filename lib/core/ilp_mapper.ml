@@ -3,6 +3,8 @@ module Solve = Cgra_ilp.Solve
 module Unsat_core = Cgra_ilp.Unsat_core
 module Proof = Cgra_satoca.Proof
 module Drat = Cgra_satoca.Drat
+module Backend = Cgra_backend.Backend
+module Registry = Cgra_backend.Registry
 
 type diagnosis = {
   core : string list;
@@ -107,8 +109,85 @@ let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
     conflict_resources = List.rev !resources;
   }
 
-let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
+(* Solve through an external backend: LP export, subprocess, replayed
+   solution (see {!Cgra_backend.Milp_adapter}).  The mapping extracted
+   from a replayed assignment still goes through {!Check.run} below, so
+   a Mapped verdict carries the same evidence as the native path; an
+   Infeasible verdict is the external solver's word — uncertified, and
+   exactly what [sweep --cross-check] exists to diff. *)
+let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulation.t)
+    ~build_seconds =
+  let report = b.Backend.solve ?deadline f.Formulation.model in
+  let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
+    {
+      size = Formulation.size f;
+      solve_seconds = report.Backend.wall_seconds;
+      build_seconds;
+      objective_value;
+      proven_optimal;
+      sat_calls = 0;
+      presolve_fixed = 0;
+      certified;
+      proof_steps = 0;
+      diagnosis;
+    }
+  in
+  match report.Backend.outcome with
+  | Solve.Infeasible ->
+      let diagnosis =
+        (* the explanation machinery is native and engine-independent:
+           it re-derives the core from the model, so it can explain an
+           externally-proven infeasibility too *)
+        if not explain then None
+        else
+          match Unsat_core.extract ?deadline ~minimize:true f.Formulation.model with
+          | Unsat_core.Core core -> Some (diagnose ?deadline f core)
+          | Unsat_core.Satisfiable ->
+              failwith
+                (Printf.sprintf
+                   "Ilp_mapper: native core extraction refuted backend %s's infeasibility \
+                    (cross-engine disagreement)"
+                   b.Backend.name)
+          | Unsat_core.Unknown -> None
+      in
+      Infeasible (info ?diagnosis ~objective_value:None ~proven_optimal:true ~certified:false ())
+  | Solve.Timeout ->
+      Timeout (info ~objective_value:None ~proven_optimal:false ~certified:false ())
+  | Solve.Optimal (assign, obj) | Solve.Feasible (assign, obj) ->
+      let proven_optimal =
+        match report.Backend.outcome with Solve.Optimal _ -> true | _ -> false
+      in
+      let mapping = Extract.mapping f assign in
+      (match Check.run mapping with
+      | Ok () -> ()
+      | Error errs ->
+          failwith
+            (Printf.sprintf
+               "Ilp_mapper: backend %s returned a replayed assignment whose mapping fails the \
+                independent checker: %s"
+               b.Backend.name (String.concat "; " errs)));
+      let objective_value =
+        match objective with Formulation.Feasibility -> None | _ -> Some obj
+      in
+      Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true ())
+
+let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cancel ?prune
     ?(warm_start = 5.0) ?(certify = false) ?(explain = false) dfg mrrg =
+  let engine, external_backend =
+    match backend with
+    | None -> (engine, None)
+    | Some name -> (
+        match Registry.find name with
+        | None ->
+            raise
+              (Backend.Error
+                 (Printf.sprintf "unknown backend %S (known: %s)" name
+                    (String.concat ", " (Registry.names ()))))
+        | Some b -> (
+            match b.Backend.kind with
+            | Backend.Native e -> (Some e, None)
+            | Backend.External _ -> (engine, Some b)))
+  in
   let attach d = match cancel with None -> d | Some f -> Deadline.with_cancellation d f in
   let deadline = Option.map attach deadline in
   let deadline =
@@ -118,6 +197,8 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
   in
   let t0 = Deadline.now () in
   let f = Formulation.build ~objective ?prune dfg mrrg in
+  (* phase hints mean nothing to a subprocess solver *)
+  let warm_start = if external_backend <> None then 0.0 else warm_start in
   if warm_start > 0.0 then begin
     let params = if warm_start >= 20.0 then Anneal.thorough else Anneal.moderate in
     match
@@ -127,6 +208,9 @@ let map ?(objective = Formulation.Feasibility) ?engine ?deadline ?cancel ?prune
     | Anneal.Failed _ -> ()
   end;
   let build_seconds = Deadline.elapsed_of ~start:t0 in
+  match external_backend with
+  | Some b -> solve_external ?deadline ~objective ~explain b f ~build_seconds
+  | None ->
   let proof = if certify then Some (Proof.create ()) else None in
   let report = Solve.solve_report ?deadline ?engine ?proof f.Formulation.model in
   let proof_steps = match proof with Some p -> Proof.n_steps p | None -> 0 in

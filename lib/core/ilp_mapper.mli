@@ -55,6 +55,7 @@ type result =
 val map :
   ?objective:Formulation.objective ->
   ?engine:Cgra_ilp.Solve.engine ->
+  ?backend:string ->
   ?deadline:Cgra_util.Deadline.t ->
   ?cancel:bool Atomic.t ->
   ?prune:bool ->
@@ -67,6 +68,24 @@ val map :
 (** Defaults: [Feasibility] objective (a Table 2 style query),
     SAT-backed engine, no deadline, corridor pruning on.  Mappings are
     checked with {!Check} before being returned.
+
+    [backend] selects a solver backend from
+    {!Cgra_backend.Registry} by name.  A native backend
+    (["native-sat"], ["native-bnb"]) routes through the standard
+    in-process path with the corresponding engine — [certify],
+    [explain] and [warm_start] all work.  An external backend
+    (["highs"], ["cbc"], ["scip"]) exports the model as an LP file,
+    runs the solver as a subprocess under the deadline, and replays the
+    parsed answer: the assignment is checked row-by-row against the
+    model, the objective is recomputed, and the extracted mapping must
+    pass {!Check.run}, so a [Mapped] verdict is [certified] exactly
+    like a native one.  An external [Infeasible] is the solver's word
+    and stays [certified = false] (no DRAT trace exists); [explain]
+    still works (the native core extractor re-derives the conflict),
+    and the sweep's [--cross-check] exists to diff such verdicts.
+    [warm_start] is forced to 0 on external backends.
+    @raise Cgra_backend.Backend.Error on an unknown backend name, a
+    missing solver binary, or an external answer that fails replay.
 
     {b Reentrancy.}  [map] is the single-job entry point of the
     parallel sweep engine: it holds no global mutable state — the

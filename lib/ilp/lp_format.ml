@@ -1,33 +1,85 @@
-let append_terms buf model terms =
+(* ------------------------------------------------------------------ *)
+(* Identifier sanitization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The formulation names variables after MRRG nodes ([F|c0.x0y0.fu|mul1])
+   and rows after constraints ([excl[c0.x0y0.fu]]); '|', '[' and ']'
+   are not legal in CPLEX-style LP identifiers, so a file using them
+   raw is rejected by real readers (HiGHS, CBC, SCIP).  Every emitted
+   name therefore goes through [lp_ident], and uniqueness is restored
+   afterwards with numeric suffixes — external solvers echo these names
+   in their solution files, and {!external_names} gives adapters the
+   exact spelling per variable index. *)
+
+let safe_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.'
+
+let lp_ident name =
+  let b = Buffer.create (String.length name) in
+  String.iter (fun c -> Buffer.add_char b (if safe_char c then c else '_')) name;
+  let s = if Buffer.length b = 0 then "_" else Buffer.contents b in
+  (* a leading digit or '.' is illegal, and a leading [eE] before a
+     digit risks being read as an exponent by sloppy parsers *)
+  let needs_prefix =
+    match s.[0] with
+    | '0' .. '9' | '.' -> true
+    | 'e' | 'E' -> String.length s > 1 && s.[1] >= '0' && s.[1] <= '9'
+    | _ -> false
+  in
+  if needs_prefix then "v_" ^ s else s
+
+(* Deterministic, injective renaming: sanitize, then bump clashes with
+   [_2], [_3], ... in index order. *)
+let unique_names names =
+  let used = Hashtbl.create (Array.length names * 2) in
+  Array.map
+    (fun raw ->
+      let base = lp_ident raw in
+      let rec pick candidate k =
+        if Hashtbl.mem used candidate then pick (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let chosen = pick base 2 in
+      Hashtbl.replace used chosen ();
+      chosen)
+    names
+
+let external_names model =
+  unique_names (Array.init (Model.nvars model) (Model.var_name model))
+
+let append_terms buf names terms =
   if terms = [] then Buffer.add_string buf " 0"
   else
     List.iteri
       (fun i (c, v) ->
-        let name = Model.var_name model v in
+        let name = names.(v) in
         if c >= 0 then
           Buffer.add_string buf (Printf.sprintf "%s%d %s" (if i = 0 then " " else " + ") c name)
         else Buffer.add_string buf (Printf.sprintf " - %d %s" (-c) name))
       terms
 
 let to_string model =
+  let names = external_names model in
+  let row_names =
+    unique_names (Array.of_list (List.map (fun (r : Model.row) -> r.name) (Model.rows model)))
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "\\ Problem: %s\n" (Model.name model));
   Buffer.add_string buf "Minimize\n obj:";
   (match Model.objective model with
   | Model.Feasibility -> Buffer.add_string buf " 0"
-  | Model.Minimize terms -> append_terms buf model terms);
+  | Model.Minimize terms -> append_terms buf names terms);
   Buffer.add_string buf "\nSubject To\n";
-  List.iter
-    (fun (r : Model.row) ->
-      Buffer.add_string buf (Printf.sprintf " %s:" r.name);
-      append_terms buf model r.terms;
+  List.iteri
+    (fun i (r : Model.row) ->
+      Buffer.add_string buf (Printf.sprintf " %s:" row_names.(i));
+      append_terms buf names r.terms;
       let op = match r.sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=" in
       Buffer.add_string buf (Printf.sprintf " %s %d\n" op r.rhs))
     (Model.rows model);
   Buffer.add_string buf "Binary\n";
-  for v = 0 to Model.nvars model - 1 do
-    Buffer.add_string buf (Printf.sprintf " %s\n" (Model.var_name model v))
-  done;
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf " %s\n" n)) names;
   Buffer.add_string buf "End\n";
   Buffer.contents buf
 

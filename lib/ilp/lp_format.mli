@@ -8,7 +8,23 @@
 
 val to_string : Model.t -> string
 (** Render: objective ([Minimize] or a constant feasibility objective),
-    [Subject To] rows, and a [Binary] section listing every variable. *)
+    [Subject To] rows, and a [Binary] section listing every variable.
+    Variable and row names are respelled through {!lp_ident} (with
+    numeric suffixes restoring uniqueness), so the file is accepted by
+    real LP readers even when model names carry characters like ['|']
+    or brackets that are illegal in LP identifiers. *)
+
+val lp_ident : string -> string
+(** LP-safe respelling of one identifier: illegal characters become
+    ['_'], and a prefix is added when the first character could not
+    start an LP name (digit, period, or an [e]/[E] that reads as an
+    exponent).  Deterministic but not injective on its own — see
+    {!external_names} for the per-model unique spelling. *)
+
+val external_names : Model.t -> string array
+(** The exact names {!to_string} emits, index-aligned with the model's
+    variables.  External-solver adapters use this table to translate
+    the names echoed in a solution file back to variable indices. *)
 
 val of_string : string -> (Model.t, string) result
 (** Read back a file in the subset emitted by {!to_string} (used for

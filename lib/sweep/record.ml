@@ -1,5 +1,7 @@
 type status = Feasible | Infeasible | Timeout | Error of string
 
+type cross = { backend : string; status : status; objective : int option; agreed : bool }
+
 type t = {
   job : Job.t;
   status : status;
@@ -10,7 +12,9 @@ type t = {
   sat_calls : int;
   presolve_fixed : int;
   certified : bool;
+  objective : int option;
   core : string list;
+  cross : cross option;
 }
 
 let error job msg =
@@ -24,7 +28,9 @@ let error job msg =
     sat_calls = 0;
     presolve_fixed = 0;
     certified = false;
+    objective = None;
     core = [];
+    cross = None;
   }
 
 let status_to_string = function
@@ -33,7 +39,28 @@ let status_to_string = function
   | Timeout -> "timeout"
   | Error _ -> "error"
 
+let status_of_string ?(message = "") = function
+  | "feasible" -> Ok Feasible
+  | "infeasible" -> Ok Infeasible
+  | "timeout" -> Ok Timeout
+  | "error" -> Ok (Error message)
+  | other -> Stdlib.Error (Printf.sprintf "unknown status %S" other)
+
 let definitive r = match r.status with Feasible | Infeasible -> true | Timeout | Error _ -> false
+
+let disagreement r = match r.cross with Some c -> not c.agreed | None -> false
+
+(* Two verdicts disagree only when both claim a proof and the proofs
+   contradict: opposite feasibility verdicts, or equal-status optima
+   with different objective values.  A timeout or error on either side
+   is inconclusive, never a disagreement. *)
+let verdicts_agree ~status:(s1 : status) ~objective:(o1 : int option) ~status2:(s2 : status)
+    ~objective2:(o2 : int option) =
+  match (s1, s2) with
+  | Feasible, Infeasible | Infeasible, Feasible -> false
+  | Feasible, Feasible -> (
+      match (o1, o2) with Some a, Some b -> a = b | _ -> true)
+  | _ -> true
 
 let to_json r =
   let base =
@@ -53,6 +80,11 @@ let to_json r =
       ("certified", Jsonl.Bool r.certified);
     ]
   in
+  let objective =
+    match r.objective with
+    | Some o -> [ ("objective", Jsonl.Num (float_of_int o)) ]
+    | None -> []
+  in
   let extra = match r.status with Error msg -> [ ("message", Jsonl.Str msg) ] | _ -> [] in
   (* [core] is journaled only when an explanation was extracted, so
      plain sweeps keep their compact lines. *)
@@ -61,7 +93,24 @@ let to_json r =
     | [] -> []
     | groups -> [ ("core", Jsonl.List (List.map (fun g -> Jsonl.Str g) groups)) ]
   in
-  Jsonl.Obj (base @ core @ extra)
+  (* cross-check provenance, only for cross-checked cells; a violated
+     check additionally carries ["disagreement": true] so journals can
+     be grepped for the only lines that ever matter *)
+  let cross =
+    match r.cross with
+    | None -> []
+    | Some c ->
+        [
+          ("cross_backend", Jsonl.Str c.backend);
+          ("cross_status", Jsonl.Str (status_to_string c.status));
+          ("cross_agreed", Jsonl.Bool c.agreed);
+        ]
+        @ (match c.objective with
+          | Some o -> [ ("cross_objective", Jsonl.Num (float_of_int o)) ]
+          | None -> [])
+        @ if c.agreed then [] else [ ("disagreement", Jsonl.Bool true) ]
+  in
+  Jsonl.Obj (base @ objective @ core @ cross @ extra)
 
 let of_json j =
   let str k = Option.bind (Jsonl.member k j) Jsonl.to_str in
@@ -70,12 +119,24 @@ let of_json j =
   match (str "benchmark", str "arch", int_field "size", int_field "contexts", str "status") with
   | Some benchmark, Some arch, Some size, Some contexts, Some status_s ->
       let status =
-        match status_s with
-        | "feasible" -> Ok Feasible
-        | "infeasible" -> Ok Infeasible
-        | "timeout" -> Ok Timeout
-        | "error" -> Ok (Error (Option.value ~default:"" (str "message")))
-        | other -> Stdlib.Error (Printf.sprintf "unknown status %S" other)
+        status_of_string ~message:(Option.value ~default:"" (str "message")) status_s
+      in
+      let cross =
+        match (str "cross_backend", str "cross_status") with
+        | Some backend, Some cs -> (
+            match status_of_string cs with
+            | Ok s ->
+                Some
+                  {
+                    backend;
+                    status = s;
+                    objective = int_field "cross_objective";
+                    agreed =
+                      Option.value ~default:true
+                        (Option.bind (Jsonl.member "cross_agreed" j) Jsonl.to_bool);
+                  }
+            | Stdlib.Error _ -> None)
+        | _ -> None
       in
       Result.map
         (fun status ->
@@ -99,11 +160,14 @@ let of_json j =
             certified =
               Option.value ~default:false
                 (Option.bind (Jsonl.member "certified" j) Jsonl.to_bool);
+            (* absent for feasibility-only queries and legacy journals *)
+            objective = int_field "objective";
             (* absent in pre-explanation journals: read as no core *)
             core =
               (match Jsonl.member "core" j with
               | Some (Jsonl.List items) -> List.filter_map Jsonl.to_str items
               | _ -> []);
+            cross;
           })
         status
   | _ -> Stdlib.Error "missing required field (benchmark/arch/size/contexts/status)"

@@ -5,12 +5,21 @@ module Adl = Cgra_arch.Adl
 module Build = Cgra_mrrg.Build
 module IM = Cgra_core.Ilp_mapper
 module Formulation = Cgra_core.Formulation
+module Anneal = Cgra_core.Anneal
+module Check = Cgra_core.Check
 module Solve = Cgra_ilp.Solve
 module Deadline = Cgra_util.Deadline
 
-type variant = { name : string; engine : Solve.engine; warm_start : float }
+type kind =
+  | Engine of { engine : Solve.engine; warm_start : float }
+  | Backend of string
 
-let default_variant = { name = "sat"; engine = Solve.Sat_backed; warm_start = 5.0 }
+type variant = { name : string; kind : kind }
+
+let engine_variant ?(warm_start = 0.0) name engine = { name; kind = Engine { engine; warm_start } }
+let backend_variant name = { name; kind = Backend name }
+
+let default_variant = engine_variant ~warm_start:5.0 "sat" Solve.Sat_backed
 
 (* The portfolio: the SAT engine raced cold (fast on easy cells and on
    infeasibility proofs, where warm-start time is pure loss) and warm
@@ -18,10 +27,24 @@ let default_variant = { name = "sat"; engine = Solve.Sat_backed; warm_start = 5.
    engine as a third, structurally different prover. *)
 let portfolio_variants =
   [
-    { name = "sat-cold"; engine = Solve.Sat_backed; warm_start = 0.0 };
-    { name = "sat-warm"; engine = Solve.Sat_backed; warm_start = 5.0 };
-    { name = "bnb"; engine = Solve.Branch_and_bound; warm_start = 0.0 };
+    engine_variant "sat-cold" Solve.Sat_backed;
+    engine_variant ~warm_start:5.0 "sat-warm" Solve.Sat_backed;
+    engine_variant "bnb" Solve.Branch_and_bound;
   ]
+
+(* Priority-ordered pool for machine-sized races: the three core
+   racers first, then diminishing-return variations of the warm-start
+   budget that only join when the machine has cores to spare. *)
+let racer_pool =
+  portfolio_variants
+  @ [
+      engine_variant ~warm_start:1.0 "sat-eager" Solve.Sat_backed;
+      engine_variant ~warm_start:15.0 "sat-patient" Solve.Sat_backed;
+    ]
+
+let default_racers n =
+  let n = max 1 n in
+  List.filteri (fun i _ -> i < n) racer_pool
 
 let read_file path =
   let ic = open_in_bin path in
@@ -74,10 +97,12 @@ let record_of_result (job : Job.t) ~engine ~total_seconds result =
     sat_calls = info.IM.sat_calls;
     presolve_fixed = info.IM.presolve_fixed;
     certified = info.IM.certified;
+    objective = info.IM.objective_value;
     core =
       (match info.IM.diagnosis with
       | Some d -> d.IM.core
       | None -> []);
+    cross = None;
   }
 
 let run_variant ?cancel ?certify ?explain (variant : variant) (job : Job.t) =
@@ -85,14 +110,22 @@ let run_variant ?cancel ?certify ?explain (variant : variant) (job : Job.t) =
   match prepare job with
   | Error msg -> Record.error job msg
   | Ok (dfg, mrrg) -> (
-      let warm_start =
-        if job.Job.limit > 0.0 then Float.min variant.warm_start (job.Job.limit /. 4.0)
-        else variant.warm_start
+      let result =
+        match variant.kind with
+        | Engine { engine; warm_start } ->
+            let warm_start =
+              if job.Job.limit > 0.0 then Float.min warm_start (job.Job.limit /. 4.0)
+              else warm_start
+            in
+            fun () ->
+              IM.map ~objective:Formulation.Feasibility ~engine ~deadline:(deadline_of job)
+                ?cancel ~warm_start ?certify ?explain dfg mrrg
+        | Backend backend ->
+            fun () ->
+              IM.map ~objective:Formulation.Feasibility ~backend ~deadline:(deadline_of job)
+                ?cancel ?certify ?explain dfg mrrg
       in
-      match
-        IM.map ~objective:Formulation.Feasibility ~engine:variant.engine
-          ~deadline:(deadline_of job) ?cancel ~warm_start ?certify ?explain dfg mrrg
-      with
+      match result () with
       | result ->
           record_of_result job ~engine:variant.name
             ~total_seconds:(Deadline.elapsed_of ~start:t0) result
@@ -104,3 +137,47 @@ let run_variant ?cancel ?certify ?explain (variant : variant) (job : Job.t) =
 
 let run ?cancel ?certify ?explain (job : Job.t) =
   run_variant ?cancel ?certify ?explain default_variant job
+
+(* The Figure-8 baseline: simulated annealing restarted over [seeds]
+   RNG streams, each given an equal slice of the job's budget.  The
+   first mapping that survives the independent checker wins; running
+   out of seeds (or of budget) is a Timeout — annealing can never prove
+   infeasibility, so the SA column of Fig. 8 has no Infeasible bars. *)
+let run_anneal ?cancel ?(seeds = 3) (job : Job.t) =
+  let t0 = Deadline.now () in
+  match prepare job with
+  | Error msg -> Record.error job msg
+  | Ok (dfg, mrrg) ->
+      let seeds = max 1 seeds in
+      let slice = if job.Job.limit > 0.0 then job.Job.limit /. float_of_int seeds else 0.0 in
+      let deadline_for_attempt () =
+        let d = if slice > 0.0 then Deadline.after ~seconds:slice else Deadline.none in
+        match cancel with None -> d | Some flag -> Deadline.with_cancellation d flag
+      in
+      let rec attempt seed =
+        if seed >= seeds then None
+        else
+          let params = { Anneal.moderate with Anneal.seed } in
+          match Anneal.map ~params ~deadline:(deadline_for_attempt ()) dfg mrrg with
+          | Anneal.Mapped (m, _) when Check.is_legal m -> Some m
+          | Anneal.Mapped _ | Anneal.Failed _ -> attempt (seed + 1)
+          | exception _ -> attempt (seed + 1)
+      in
+      let status =
+        match attempt 0 with Some _ -> Record.Feasible | None -> Record.Timeout
+      in
+      let total = Deadline.elapsed_of ~start:t0 in
+      {
+        Record.job;
+        status;
+        engine = "sa";
+        total_seconds = total;
+        solve_seconds = total;
+        build_seconds = 0.0;
+        sat_calls = 0;
+        presolve_fixed = 0;
+        certified = false;
+        objective = None;
+        core = [];
+        cross = None;
+      }

@@ -1,6 +1,6 @@
 (** Single-job execution: resolve a {!Job.t}'s benchmark and
-    architecture names, elaborate the MRRG, run one exact engine, and
-    fold the answer into a {!Record.t}.
+    architecture names, elaborate the MRRG, run one exact engine (or an
+    external solver backend), and fold the answer into a {!Record.t}.
 
     Runs are hermetic by construction — every invocation builds its own
     DFG, architecture and MRRG, so concurrent invocations on separate
@@ -8,32 +8,66 @@
     mutable state.  Exceptions never escape: any failure becomes an
     [Error] record. *)
 
-type variant = {
-  name : string;               (** recorded as the winning engine *)
-  engine : Cgra_ilp.Solve.engine;
-  warm_start : float;          (** annealing warm-start budget, seconds *)
-}
+type kind =
+  | Engine of { engine : Cgra_ilp.Solve.engine; warm_start : float }
+      (** in-process exact engine; [warm_start] is the annealing
+          warm-start budget in seconds (clamped to a quarter of the
+          job's limit) *)
+  | Backend of string
+      (** a {!Cgra_backend.Registry} backend by name — typically an
+          external MILP solver subprocess *)
+
+type variant = { name : string; kind : kind }
+(** [name] is recorded as the winning engine in the journal. *)
+
+val engine_variant : ?warm_start:float -> string -> Cgra_ilp.Solve.engine -> variant
+(** [warm_start] defaults to 0 (no warm start). *)
+
+val backend_variant : string -> variant
+(** A variant that routes through [Ilp_mapper.map ~backend:name]; the
+    variant's display name is the backend name itself. *)
 
 val default_variant : variant
 (** The single-engine configuration: SAT-backed with a short warm
     start, the repository's standard exact query. *)
 
 val portfolio_variants : variant list
-(** The racing portfolio: cold SAT, warm SAT, branch-and-bound. *)
+(** The core racing portfolio: cold SAT, warm SAT, branch-and-bound. *)
+
+val racer_pool : variant list
+(** {!portfolio_variants} followed by diminishing-return warm-start
+    variations, in priority order; the source {!default_racers} draws
+    from. *)
+
+val default_racers : int -> variant list
+(** The first [max 1 n] variants of {!racer_pool} — the portfolio
+    sized to a machine with [n] usable cores (pass
+    [Domain.recommended_domain_count ()]). *)
 
 val run_variant :
   ?cancel:bool Atomic.t -> ?certify:bool -> ?explain:bool -> variant -> Job.t -> Record.t
-(** Run one engine variant under the job's time budget.  [cancel]
-    attaches a shared cancellation flag (see
+(** Run one variant under the job's time budget.  [cancel] attaches a
+    shared cancellation flag (see
     {!Cgra_util.Deadline.with_cancellation}); a cancelled run records
     [Timeout].  [certify] (default [false]) requests DRAT-certified
     infeasibility verdicts (see {!Cgra_core.Ilp_mapper.map}); the
     record's [certified] field reports the outcome.  [explain] (default
     [false]) extracts a constraint-group unsat core for an [Infeasible]
-    verdict and journals it in the record's [core] field. *)
+    verdict and journals it in the record's [core] field.  A [Backend]
+    variant whose solver is missing or misbehaves yields an [Error]
+    record carrying the backend's message, never an exception. *)
 
 val run : ?cancel:bool Atomic.t -> ?certify:bool -> ?explain:bool -> Job.t -> Record.t
 (** [run_variant default_variant]. *)
+
+val run_anneal : ?cancel:bool Atomic.t -> ?seeds:int -> Job.t -> Record.t
+(** The Figure-8 heuristic baseline: simulated annealing restarted
+    over [seeds] (default 3) RNG streams, each slice getting an equal
+    share of the job's time limit.  Records [Feasible] (engine ["sa"],
+    never certified — the checker vouches for the mapping but annealing
+    proves nothing about the cell) when any seed finds a mapping that
+    passes {!Cgra_core.Check}, else [Timeout]: a heuristic cannot
+    return [Infeasible]. *)
 
 val prepare : Job.t -> (Cgra_dfg.Dfg.t * Cgra_mrrg.Mrrg.t, string) result
 (** Name resolution + MRRG elaboration without solving (for tests and

@@ -2,12 +2,34 @@ type event =
   | Job_started of { index : int; total : int; worker : int; job : Job.t }
   | Job_finished of { index : int; total : int; worker : int; record : Record.t }
 
-type stats = { ran : int; skipped : int; wall_seconds : float }
+type stats = { ran : int; skipped : int; disagreements : int; wall_seconds : float }
 
 module Deadline = Cgra_util.Deadline
 
-let run ?(jobs = 1) ?(portfolio = false) ?certify ?explain ?(skip = fun _ -> false)
-    ?(on_event = fun _ -> ()) job_list =
+(* Run the cross-check backend on a cell the primary answered
+   definitively and fold the second opinion into the record.  The
+   checker gets the same time budget; its timeout or error is
+   inconclusive, recorded but never a disagreement. *)
+let cross_check_record ~backend (primary : Record.t) =
+  let second = Runner.run_variant (Runner.backend_variant backend) primary.Record.job in
+  let agreed =
+    Record.verdicts_agree ~status:primary.Record.status ~objective:primary.Record.objective
+      ~status2:second.Record.status ~objective2:second.Record.objective
+  in
+  {
+    primary with
+    Record.cross =
+      Some
+        {
+          Record.backend;
+          status = second.Record.status;
+          objective = second.Record.objective;
+          agreed;
+        };
+  }
+
+let run ?(jobs = 1) ?(portfolio = false) ?(racers = []) ?cross_check ?executor ?certify ?explain
+    ?(skip = fun _ -> false) ?(on_event = fun _ -> ()) job_list =
   let t0 = Deadline.now () in
   let all = Array.of_list job_list in
   let keep = Array.map (fun j -> not (skip j)) all in
@@ -21,10 +43,35 @@ let run ?(jobs = 1) ?(portfolio = false) ?certify ?explain ?(skip = fun _ -> fal
     Fun.protect ~finally:(fun () -> Mutex.unlock event_mutex) (fun () -> try on_event e with _ -> ())
   in
   let execute job =
-    try
-      if portfolio then Portfolio.race ?certify ?explain job
-      else Runner.run ?certify ?explain job
-    with e -> Record.error job (Printexc.to_string e)
+    let primary =
+      try
+        match executor with
+        | Some f -> f job
+        | None ->
+            if portfolio then
+              let variants = match racers with [] -> None | vs -> Some vs in
+              Portfolio.race ?variants ?certify ?explain job
+            else Runner.run ?certify ?explain job
+      with e -> Record.error job (Printexc.to_string e)
+    in
+    match cross_check with
+    | Some backend when Record.definitive primary -> (
+        try cross_check_record ~backend primary
+        with e ->
+          (* The check, not the answer, failed: keep the verdict and
+             record an inconclusive second opinion. *)
+          {
+            primary with
+            Record.cross =
+              Some
+                {
+                  Record.backend;
+                  status = Record.Error (Printexc.to_string e);
+                  objective = None;
+                  agreed = true;
+                };
+          })
+    | _ -> primary
   in
   let worker w =
     (* Claim jobs by fetch-and-add: each index is taken exactly once,
@@ -59,6 +106,7 @@ let run ?(jobs = 1) ?(portfolio = false) ?certify ?explain ?(skip = fun _ -> fal
     {
       ran = total;
       skipped = Array.length all - total;
+      disagreements = List.length (List.filter Record.disagreement records);
       wall_seconds = Deadline.elapsed_of ~start:t0;
     }
   in

@@ -215,6 +215,83 @@ let test_lp_format_content () =
   Alcotest.(check bool) "row" true (has "r1: 2 x - 1 yy <= 1");
   Alcotest.(check bool) "End" true (has "End")
 
+let test_lp_ident () =
+  (* formulation names carry '|', '[', ']' and dots; LP identifiers
+     must not — and must not start with a digit, a period, or an
+     exponent-like letter *)
+  List.iter
+    (fun (raw, expect) ->
+      Alcotest.(check string) (Printf.sprintf "lp_ident %S" raw) expect (Lp_format.lp_ident raw))
+    [
+      ("x", "x");
+      ("F|c0.x0y0.fu|mul1", "F_c0.x0y0.fu_mul1");
+      ("excl[pe_0_0.fu]", "excl_pe_0_0.fu_");
+      ("0start", "v_0start");
+      (".dot", "v_.dot");
+      ("e1", "v_e1");
+      ("E9x", "v_E9x");
+      ("ee1", "ee1");
+      ("", "_");
+    ]
+
+let test_lp_ident_collisions () =
+  (* two raw names sanitizing to the same spelling must be re-uniqued,
+     and the emitted file must stay parseable *)
+  let m = Model.create ~name:"clash" () in
+  let a = Model.add_binary m "v|1" in
+  let b = Model.add_binary m "v[1]" in
+  let c = Model.add_binary m "v_1" in
+  Model.add_row m ~name:"r" [ (1, a); (1, b); (1, c) ] Model.Ge 1;
+  let names = Lp_format.external_names m in
+  Alcotest.(check int) "three names" 3 (Array.length names);
+  let sorted = List.sort_uniq compare (Array.to_list names) in
+  Alcotest.(check int) "all distinct after sanitizing" 3 (List.length sorted);
+  Array.iter
+    (fun n -> Alcotest.(check bool) (n ^ " is LP-safe") true (Lp_format.lp_ident n = n))
+    names;
+  match Lp_format.of_string (Lp_format.to_string m) with
+  | Error e -> Alcotest.failf "sanitized file unreadable: %s" e
+  | Ok m' -> Alcotest.(check int) "vars preserved" 3 (Model.nvars m')
+
+(* The pinned export of one benchmark cell (mac on the 1x1 homogeneous
+   orthogonal array, ii=1): any drift in identifier sanitization, term
+   rendering or section layout shows up as a byte diff against the
+   golden file that external solvers are known to accept. *)
+let test_lp_golden_mac () =
+  let golden = "golden/mac_1x1_ii1.lp" in
+  let dfg =
+    match Cgra_dfg.Benchmarks.by_name "mac" with
+    | Some d -> d
+    | None -> Alcotest.fail "mac benchmark missing"
+  in
+  let arch =
+    match Cgra_arch.Library.find_config ~size:1 "homo-orth" with
+    | Some c -> Cgra_arch.Library.make c
+    | None -> Alcotest.fail "homo-orth config missing"
+  in
+  let mrrg = Cgra_mrrg.Build.elaborate arch ~ii:1 in
+  let f = Cgra_core.Formulation.build ~objective:Cgra_core.Formulation.Feasibility dfg mrrg in
+  let rendered = Lp_format.to_string f.Cgra_core.Formulation.model in
+  let ic = open_in_bin golden in
+  let expected =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if rendered <> expected then begin
+    (* locate the first differing line for a readable failure *)
+    let rl = String.split_on_char '\n' rendered and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | r :: rs, e :: es -> if r <> e then (i, r, e) else first_diff (i + 1) (rs, es)
+      | r :: _, [] -> (i, r, "<eof>")
+      | [], e :: _ -> (i, "<eof>", e)
+      | [], [] -> (i, "", "")
+    in
+    let line, got, want = first_diff 1 (rl, el) in
+    Alcotest.failf "LP export drifted from %s at line %d:\n  got:  %s\n  want: %s" golden line
+      got want
+  end
+
 (* ---------------- unsat cores ---------------- *)
 
 module Unsat_core = Cgra_ilp.Unsat_core
@@ -505,6 +582,9 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_lp_roundtrip;
         Alcotest.test_case "content" `Quick test_lp_format_content;
+        Alcotest.test_case "identifier sanitization" `Quick test_lp_ident;
+        Alcotest.test_case "sanitized name collisions re-uniqued" `Quick test_lp_ident_collisions;
+        Alcotest.test_case "golden export pinned (mac 1x1 ii1)" `Quick test_lp_golden_mac;
       ] );
     ( "ilp:unsat-core",
       [

@@ -72,7 +72,9 @@ let test_record_roundtrip () =
       sat_calls = 3;
       presolve_fixed = 17;
       certified = true;
+      objective = None;
       core = [];
+      cross = None;
     }
   in
   match Record.of_line (Record.to_line r) with
@@ -93,7 +95,9 @@ let test_record_core_roundtrip () =
       sat_calls = 9;
       presolve_fixed = 0;
       certified = false;
+      objective = None;
       core = [ "place:mul0"; "excl:pe_0_0.fu"; "route:val2" ];
+      cross = None;
     }
   in
   let line = Record.to_line r in
@@ -219,9 +223,9 @@ let test_portfolio_definitive () =
       Alcotest.(check string) "portfolio agrees with single-engine Sat_backed"
         (Record.status_to_string single.Record.status)
         (Record.status_to_string raced.Record.status);
-      Alcotest.(check bool) "winner is a portfolio variant" true
+      Alcotest.(check bool) "winner is a pool variant" true
         (List.mem raced.Record.engine
-           (List.map (fun (v : Runner.variant) -> v.Runner.name) Runner.portfolio_variants)))
+           (List.map (fun (v : Runner.variant) -> v.Runner.name) Runner.racer_pool)))
     [ job (); job ~bench:"2x2-f" ~contexts:2 () ]
 
 let test_portfolio_cancellation () =
@@ -238,6 +242,127 @@ let test_portfolio_cancellation () =
     (Record.status_to_string r.Record.status);
   Alcotest.(check bool) "and returns immediately, not at the limit" true
     (r.Record.total_seconds < 30.0)
+
+(* ---------------- cross-checking ---------------- *)
+
+let test_verdicts_agree () =
+  let agree ?o1 ?o2 s1 s2 =
+    Record.verdicts_agree ~status:s1 ~objective:o1 ~status2:s2 ~objective2:o2
+  in
+  Alcotest.(check bool) "feasible vs infeasible clashes" false
+    (agree Record.Feasible Record.Infeasible);
+  Alcotest.(check bool) "infeasible vs feasible clashes" false
+    (agree Record.Infeasible Record.Feasible);
+  Alcotest.(check bool) "timeout is inconclusive" true (agree Record.Feasible Record.Timeout);
+  Alcotest.(check bool) "error is inconclusive" true
+    (agree Record.Infeasible (Record.Error "crash"));
+  Alcotest.(check bool) "matching proofs agree" true (agree Record.Infeasible Record.Infeasible);
+  Alcotest.(check bool) "equal objectives agree" true
+    (agree ~o1:3 ~o2:3 Record.Feasible Record.Feasible);
+  Alcotest.(check bool) "different objectives clash" false
+    (agree ~o1:3 ~o2:4 Record.Feasible Record.Feasible);
+  Alcotest.(check bool) "missing objective is not a clash" true
+    (agree ~o1:3 Record.Feasible Record.Feasible)
+
+let test_cross_record_roundtrip () =
+  let r =
+    {
+      (Record.error (job ()) "unused") with
+      Record.status = Record.Feasible;
+      engine = "sat";
+      cross =
+        Some
+          {
+            Record.backend = "highs";
+            status = Record.Infeasible;
+            objective = Some 5;
+            agreed = false;
+          };
+    }
+  in
+  let line = Record.to_line r in
+  Alcotest.(check bool) "disagreement flag journaled" true
+    (Astring.String.is_infix ~affix:{|"disagreement":true|} line);
+  (match Record.of_line line with
+  | Error e -> Alcotest.failf "cross record reparse failed: %s" e
+  | Ok r' ->
+      Alcotest.(check bool) "cross survives the trip" true (r'.Record.cross = r.Record.cross);
+      Alcotest.(check bool) "detected as disagreement" true (Record.disagreement r'));
+  (* an agreed cross-check must not carry the disagreement flag *)
+  let ok =
+    { r with Record.cross = Some { Record.backend = "highs"; status = Record.Feasible; objective = None; agreed = true } }
+  in
+  Alcotest.(check bool) "no flag when agreed" false
+    (Astring.String.is_infix ~affix:"disagreement" (Record.to_line ok))
+
+let test_scheduler_cross_check_agrees () =
+  (* native-bnb re-proves what native-sat decided; a complete second
+     engine can only confirm (or time out — inconclusive) *)
+  let records, stats =
+    Scheduler.run ~cross_check:"native-bnb" [ job (); job ~bench:"2x2-f" ~contexts:2 () ]
+  in
+  Alcotest.(check int) "no disagreements" 0 stats.Scheduler.disagreements;
+  List.iter
+    (fun (r : Record.t) ->
+      match r.Record.cross with
+      | None -> Alcotest.failf "definitive cell %s not cross-checked" (Job.key r.Record.job)
+      | Some c ->
+          Alcotest.(check string) "checker recorded" "native-bnb" c.Record.backend;
+          Alcotest.(check bool) "no contradiction" true c.Record.agreed)
+    records
+
+let liar_backend name =
+  (* claims every model infeasible — the adversarial cross-checker the
+     sweep must catch on a feasible cell *)
+  let module Backend = Cgra_backend.Backend in
+  {
+    Backend.name;
+    doc = "always claims infeasible (test double)";
+    kind = Backend.External { binary = name; dialect = Cgra_backend.Sol_parse.Highs };
+    available = (fun () -> Backend.Available { version = Some "liar 1.0" });
+    solve =
+      (fun ?deadline:_ _model ->
+        { Backend.outcome = Cgra_ilp.Solve.Infeasible; wall_seconds = 0.0; note = None });
+  }
+
+let test_scheduler_cross_check_disagreement () =
+  Cgra_backend.Registry.register (liar_backend "test-liar");
+  let feasible = job ~bench:"2x2-f" ~contexts:2 () in
+  let records, stats = Scheduler.run ~cross_check:"test-liar" [ feasible ] in
+  Alcotest.(check int) "the lie is caught" 1 stats.Scheduler.disagreements;
+  match records with
+  | [ r ] ->
+      Alcotest.(check string) "primary verdict stands" "feasible"
+        (Record.status_to_string r.Record.status);
+      Alcotest.(check bool) "record flagged" true (Record.disagreement r);
+      Alcotest.(check bool) "flag survives the journal line" true
+        (Astring.String.is_infix ~affix:{|"disagreement":true|} (Record.to_line r))
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+let test_scheduler_cross_check_skips_indefinitive () =
+  (* a cell the primary cannot decide is never cross-checked: there is
+     no verdict to contradict *)
+  Cgra_backend.Registry.register (liar_backend "test-liar");
+  let records, stats =
+    Scheduler.run ~cross_check:"test-liar" [ job ~bench:"no-such-benchmark" () ]
+  in
+  Alcotest.(check int) "no disagreement on an error cell" 0 stats.Scheduler.disagreements;
+  match records with
+  | [ r ] -> Alcotest.(check bool) "no cross on error record" true (r.Record.cross = None)
+  | _ -> Alcotest.fail "expected 1 record"
+
+(* ---------------- annealing baseline (fig8) ---------------- *)
+
+let test_run_anneal () =
+  let r = Runner.run_anneal ~seeds:2 (job ~bench:"2x2-f" ~contexts:2 ~limit:20.0 ()) in
+  Alcotest.(check string) "SA maps the feasible cell" "feasible"
+    (Record.status_to_string r.Record.status);
+  Alcotest.(check string) "engine is sa" "sa" r.Record.engine;
+  Alcotest.(check bool) "heuristic mappings are never certified" false r.Record.certified;
+  (* annealing cannot prove absence: an infeasible cell times out *)
+  let r = Runner.run_anneal ~seeds:2 (job ~bench:"mac" ~limit:4.0 ()) in
+  Alcotest.(check string) "SA cannot decide the infeasible cell" "timeout"
+    (Record.status_to_string r.Record.status)
 
 (* ---------------- certification ---------------- *)
 
@@ -257,7 +382,7 @@ let test_certified_sweep () =
         (Printf.sprintf "%s is certified" (Job.key r.Record.job))
         true r.Record.certified)
     records;
-  let bnb = { Runner.name = "bnb"; engine = Cgra_ilp.Solve.Branch_and_bound; warm_start = 0.0 } in
+  let bnb = Runner.engine_variant "bnb" Cgra_ilp.Solve.Branch_and_bound in
   let r = Runner.run_variant ~certify:true bnb (job ()) in
   Alcotest.(check string) "b&b proves the cell" "infeasible"
     (Record.status_to_string r.Record.status);
@@ -305,6 +430,15 @@ let suites =
         Alcotest.test_case "resume skips journaled jobs" `Slow test_scheduler_resume;
         Alcotest.test_case "portfolio first-definitive agreement" `Slow test_portfolio_definitive;
         Alcotest.test_case "cancellation stops a run" `Slow test_portfolio_cancellation;
+        Alcotest.test_case "verdict compatibility" `Quick test_verdicts_agree;
+        Alcotest.test_case "cross-check record roundtrip" `Quick test_cross_record_roundtrip;
+        Alcotest.test_case "cross-check: second engine confirms" `Slow
+          test_scheduler_cross_check_agrees;
+        Alcotest.test_case "cross-check: lying backend caught" `Slow
+          test_scheduler_cross_check_disagreement;
+        Alcotest.test_case "cross-check: undecided cells skipped" `Quick
+          test_scheduler_cross_check_skips_indefinitive;
+        Alcotest.test_case "annealing baseline records" `Slow test_run_anneal;
         Alcotest.test_case "certified sweep validates every verdict" `Slow test_certified_sweep;
         Alcotest.test_case "certification is off by default" `Slow test_uncertified_by_default;
         Alcotest.test_case "table renders from journal" `Slow test_grid_render;
