@@ -12,6 +12,10 @@
      crosscheck        native engine vs an external MILP backend on a small
                        grid (skipped with a message when the solver binary
                        is not installed); exits 5 on verdict disagreement
+     serve             daemon serving latency: cold vs warm requests over
+                       one socket, cache hit rate; appends a run record to
+                       BENCH_serve.json and exits 1 if the warm path is not
+                       at least 1.5x faster than the cold one
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -570,6 +574,158 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* serve: daemon latency, cold vs warm                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Jsonl = Cgra_sweep.Jsonl
+module Serve_protocol = Cgra_serve.Protocol
+module Serve_server = Cgra_serve.Server
+module Serve_client = Cgra_serve.Client
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let idx = int_of_float (Float.of_int (n - 1) *. p) in
+      sorted.(max 0 (min (n - 1) idx))
+
+(* Append a run record to BENCH_serve.json, preserving earlier runs so
+   the file accumulates a latency history across commits. *)
+let record_serve_run fields =
+  let path = "BENCH_serve.json" in
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Jsonl.of_string text with
+      | Ok json -> (
+          match Jsonl.member "runs" json with Some (Jsonl.List runs) -> runs | _ -> [])
+      | Error _ -> []
+    end
+    else []
+  in
+  let doc =
+    Jsonl.Obj [ ("bench", Jsonl.Str "serve"); ("runs", Jsonl.List (previous @ [ fields ])) ]
+  in
+  let oc = open_out path in
+  output_string oc (Jsonl.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  recorded run %d in %s\n" (List.length previous + 1) path
+
+let run_serve opts =
+  Printf.printf "== serve: daemon latency, cold vs warm (size %d) ==\n%!" opts.size;
+  let socket = Printf.sprintf "/tmp/cgra-bench-serve-%d.sock" (Unix.getpid ()) in
+  let config =
+    { Serve_server.default_config with Serve_server.socket_path = socket; pool_size = 2 }
+  in
+  let server = Domain.spawn (fun () -> Serve_server.run config) in
+  let rec await tries =
+    if tries = 0 then failwith "daemon socket never appeared"
+    else if not (Sys.file_exists socket) then begin
+      Unix.sleepf 0.05;
+      await (tries - 1)
+    end
+  in
+  await 100;
+  let request =
+    {
+      Serve_protocol.id = None;
+      payload =
+        Serve_protocol.Map
+          {
+            Serve_protocol.benchmark = "mac";
+            dfg_text = None;
+            arch = "homo-orth";
+            adl_text = None;
+            size = opts.size;
+            contexts = 1;
+            limit = opts.limit;
+            optimize = false;
+            certify = false;
+            explain = false;
+            backend = None;
+          };
+    }
+  in
+  let client =
+    match Serve_client.connect ~socket with Ok c -> c | Error e -> failwith e
+  in
+  let roundtrip () =
+    let t0 = Deadline.now () in
+    match Serve_client.roundtrip client request with
+    | Ok { Serve_protocol.reply = Serve_protocol.Verdict v; _ } ->
+        (Deadline.elapsed_of ~start:t0, v)
+    | Ok _ -> failwith "unexpected daemon reply"
+    | Error e -> failwith e
+  in
+  let cold_seconds, cold_verdict = roundtrip () in
+  if cold_verdict.Serve_protocol.provenance.Serve_protocol.cache_hit then
+    failwith "first request reported a cache hit";
+  let repeats = 20 in
+  let warm = Array.init repeats (fun _ -> roundtrip ()) in
+  Array.iter
+    (fun (_, (v : Serve_protocol.verdict)) ->
+      if v.Serve_protocol.status <> cold_verdict.Serve_protocol.status then
+        failwith "warm verdict disagrees with cold verdict";
+      if not v.Serve_protocol.provenance.Serve_protocol.cache_hit then
+        failwith "warm request missed the encoding cache")
+    warm;
+  let latencies = Array.map fst warm in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50 and p95 = percentile latencies 0.95 in
+  let speedup = if p50 > 0.0 then cold_seconds /. p50 else infinity in
+  let stats =
+    match
+      Serve_client.roundtrip client { Serve_protocol.id = None; payload = Serve_protocol.Stats }
+    with
+    | Ok { Serve_protocol.reply = Serve_protocol.Stats_reply s; _ } -> s
+    | Ok _ | Error _ -> failwith "stats request failed"
+  in
+  let hit_rate =
+    let hits = float_of_int stats.Serve_protocol.session_hits in
+    let total = hits +. float_of_int stats.Serve_protocol.session_misses in
+    if total > 0.0 then hits /. total else 0.0
+  in
+  ignore
+    (Serve_client.roundtrip client { Serve_protocol.id = None; payload = Serve_protocol.Shutdown });
+  Serve_client.close client;
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> failwith ("daemon failed: " ^ e));
+  Printf.printf "  cold request:        %8.4fs (status %s)\n" cold_seconds
+    cold_verdict.Serve_protocol.status;
+  Printf.printf "  warm p50 / p95:      %8.5fs / %.5fs over %d repeats\n" p50 p95 repeats;
+  Printf.printf "  cold/warm speedup:   %8.1fx\n" speedup;
+  Printf.printf "  session cache hits:  %d/%d (rate %.2f)\n" stats.Serve_protocol.session_hits
+    (stats.Serve_protocol.session_hits + stats.Serve_protocol.session_misses)
+    hit_rate;
+  record_serve_run
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("benchmark", Jsonl.Str "mac");
+         ("arch", Jsonl.Str "homo-orth");
+         ("size", Jsonl.Num (float_of_int opts.size));
+         ("contexts", Jsonl.Num 1.0);
+         ("repeats", Jsonl.Num (float_of_int repeats));
+         ("cold_seconds", Jsonl.Num cold_seconds);
+         ("warm_p50_seconds", Jsonl.Num p50);
+         ("warm_p95_seconds", Jsonl.Num p95);
+         ("speedup", Jsonl.Num speedup);
+         ("cache_hit_rate", Jsonl.Num hit_rate);
+         ("warm_starts", Jsonl.Num (float_of_int stats.Serve_protocol.warm_starts));
+       ]);
+  if speedup < 1.5 then begin
+    Printf.eprintf
+      "serve: warm path only %.2fx faster than cold — resident caching is not paying off\n"
+      speedup;
+    exit 1
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Argument parsing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,6 +776,7 @@ let () =
       | "certify" -> run_certify opts
       | "explain" -> run_explain opts
       | "crosscheck" -> run_crosscheck opts
+      | "serve" -> run_serve opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

@@ -20,7 +20,16 @@ module Lp_format = Cgra_ilp.Lp_format
 module Deadline = Cgra_util.Deadline
 module Backend = Cgra_backend.Backend
 module Registry = Cgra_backend.Registry
+module Jsonl = Cgra_sweep.Jsonl
+module Serve_protocol = Cgra_serve.Protocol
+module Serve_server = Cgra_serve.Server
+module Serve_client = Cgra_serve.Client
 open Cmdliner
+
+(* Exit codes: 0 ok, 1 error, 3 undecided (timeout / incomplete
+   evidence), 4 uncertified, 5 cross-check disagreement, 6 protocol
+   error (daemon/client version or framing mismatch). *)
+let protocol_exit = 6
 
 (* ---------------- shared argument definitions ---------------- *)
 
@@ -138,48 +147,74 @@ let backend_arg =
   in
   Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"NAME" ~doc)
 
+let json_arg =
+  let doc =
+    "Print the verdict as one JSON object — the same record the $(b,serve) daemon returns, \
+     so one-shot and served answers diff cleanly."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* The one-shot CLI and the daemon share the wire record; a one-shot
+   answer always reports cold provenance. *)
+let print_verdict_json ~engine ~t0 result =
+  let v =
+    Serve_protocol.verdict_of_result ~engine
+      ~wall_seconds:(Deadline.elapsed_of ~start:t0)
+      ~provenance:Serve_protocol.cold_provenance result
+  in
+  print_endline (Jsonl.to_string (Serve_protocol.verdict_to_json v))
+
 let map_cmd =
-  let run bench arch size contexts limit optimize certify backend =
+  let run bench arch size contexts limit optimize certify backend json =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
     let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
+    let t0 = Deadline.now () in
     let result =
       try IM.map ~objective ?backend ~deadline:(deadline_of limit) ~certify dfg mrrg
       with Backend.Error msg ->
         prerr_endline ("backend error: " ^ msg);
         exit 1
     in
-    match result with
-    | IM.Mapped (m, info) ->
-        Printf.printf "feasible: %s\n" (Format.asprintf "%a" IM.pp_result result);
-        Printf.printf "model: %s (built in %.2fs)\n"
-          (Format.asprintf "%a" Formulation.pp_size info.IM.size)
-          info.IM.build_seconds;
-        if certify then print_endline "certified: mapping accepted by the independent checker";
-        print_endline (Mapping.to_string m)
-    | IM.Infeasible info ->
-        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
-        if certify then
-          if info.IM.certified then
-            Printf.printf
-              "certified: DRAT refutation (%d inference steps) validated by the independent \
-               checker\n"
-              info.IM.proof_steps
-          else begin
-            print_endline "certification incomplete (deadline hit during proof replay)";
-            exit 3
-          end
-    | IM.Timeout _ ->
-        print_endline "timeout: feasibility undecided";
-        exit 3
+    if json then begin
+      print_verdict_json ~engine:(Option.value backend ~default:"sat") ~t0 result;
+      match result with
+      | IM.Mapped _ -> ()
+      | IM.Infeasible info -> if certify && not info.IM.certified then exit 3
+      | IM.Timeout _ -> exit 3
+    end
+    else
+      match result with
+      | IM.Mapped (m, info) ->
+          Printf.printf "feasible: %s\n" (Format.asprintf "%a" IM.pp_result result);
+          Printf.printf "model: %s (built in %.2fs)\n"
+            (Format.asprintf "%a" Formulation.pp_size info.IM.size)
+            info.IM.build_seconds;
+          if certify then print_endline "certified: mapping accepted by the independent checker";
+          print_endline (Mapping.to_string m)
+      | IM.Infeasible info ->
+          Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
+          if certify then
+            if info.IM.certified then
+              Printf.printf
+                "certified: DRAT refutation (%d inference steps) validated by the independent \
+                 checker\n"
+                info.IM.proof_steps
+            else begin
+              print_endline "certification incomplete (deadline hit during proof replay)";
+              exit 3
+            end
+      | IM.Timeout _ ->
+          print_endline "timeout: feasibility undecided";
+          exit 3
   in
   Cmd.v
     (Cmd.info "map"
        ~doc:"Map a benchmark onto an architecture with the exact ILP mapper (paper Fig. 7).")
     Term.(
       const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg
-      $ certify_arg $ backend_arg)
+      $ certify_arg $ backend_arg $ json_arg)
 
 let backends_cmd =
   let run () =
@@ -205,29 +240,42 @@ let backends_cmd =
     Term.(const run $ const ())
 
 let explain_cmd =
-  let run bench arch size contexts limit =
+  let run bench arch size contexts limit json =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
-    match IM.map ~deadline:(deadline_of limit) ~explain:true dfg mrrg with
-    | IM.Mapped (_, info) ->
-        Printf.printf "feasible (%.2fs): nothing to explain — a mapping exists\n"
-          info.IM.solve_seconds
-    | IM.Infeasible info -> (
-        Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
-        match info.IM.diagnosis with
-        | Some d ->
-            print_string (Format.asprintf "%a" IM.pp_diagnosis d);
-            if not d.IM.core_verified then begin
-              print_endline "core verification incomplete (deadline hit during re-solve)";
-              exit 3
-            end
-        | None ->
-            print_endline "core extraction incomplete (deadline hit)";
-            exit 3)
-    | IM.Timeout _ ->
-        print_endline "timeout: feasibility undecided, nothing to explain";
-        exit 3
+    let t0 = Deadline.now () in
+    let result = IM.map ~deadline:(deadline_of limit) ~explain:true dfg mrrg in
+    if json then begin
+      print_verdict_json ~engine:"sat" ~t0 result;
+      match result with
+      | IM.Mapped _ -> ()
+      | IM.Infeasible info -> (
+          match info.IM.diagnosis with
+          | Some d when d.IM.core_verified -> ()
+          | _ -> exit 3)
+      | IM.Timeout _ -> exit 3
+    end
+    else
+      match result with
+      | IM.Mapped (_, info) ->
+          Printf.printf "feasible (%.2fs): nothing to explain — a mapping exists\n"
+            info.IM.solve_seconds
+      | IM.Infeasible info -> (
+          Printf.printf "infeasible (proven in %.2fs)\n" info.IM.solve_seconds;
+          match info.IM.diagnosis with
+          | Some d ->
+              print_string (Format.asprintf "%a" IM.pp_diagnosis d);
+              if not d.IM.core_verified then begin
+                print_endline "core verification incomplete (deadline hit during re-solve)";
+                exit 3
+              end
+          | None ->
+              print_endline "core extraction incomplete (deadline hit)";
+              exit 3)
+      | IM.Timeout _ ->
+          print_endline "timeout: feasibility undecided, nothing to explain";
+          exit 3
   in
   Cmd.v
     (Cmd.info "explain"
@@ -235,7 +283,7 @@ let explain_cmd =
          "Explain why a benchmark does not map: extract a minimal constraint-group unsat \
           core (which placements, routings and resource exclusivities conflict), verify it \
           by re-solving, and print it in DFG/MRRG terms.")
-    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg)
+    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ json_arg)
 
 let anneal_cmd =
   let run bench arch size contexts limit seed =
@@ -553,12 +601,190 @@ let sweep_cmd =
       $ racers_arg $ resume_arg $ out_arg $ table_arg $ benchmarks_arg $ archs_arg
       $ contexts_list_arg $ limit_arg $ size_arg)
 
+(* ---------------- serve / client ---------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string Serve_server.default_config.Serve_server.socket_path
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let pool_arg =
+    let doc = "Worker domains serving connections." in
+    Arg.(value & opt int 2 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Connections queued beyond the active ones before refusing with busy (0 = unbounded)." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_mrrg_arg =
+    let doc = "Resident elaborated MRRGs (tier-1 cache capacity; 0 disables)." in
+    Arg.(value & opt int 32 & info [ "cache-mrrg" ] ~docv:"N" ~doc)
+  in
+  let cache_encodings_arg =
+    let doc =
+      "Resident solver sessions with compiled encodings (tier-2 cache capacity; 0 disables)."
+    in
+    Arg.(value & opt int 16 & info [ "cache-encodings" ] ~docv:"N" ~doc)
+  in
+  let max_limit_arg =
+    let doc = "Hard cap on any request's time limit, seconds (0 = uncapped)." in
+    Arg.(value & opt float 120.0 & info [ "max-limit" ] ~docv:"SECS" ~doc)
+  in
+  let run socket pool queue cache_mrrg cache_encodings max_limit =
+    let config =
+      {
+        Serve_server.socket_path = socket;
+        pool_size = pool;
+        queue_capacity = queue;
+        mrrg_capacity = cache_mrrg;
+        session_capacity = cache_encodings;
+        max_limit;
+      }
+    in
+    let on_ready () =
+      Printf.eprintf "cgra_serve: listening on %s (%d workers, caches %d/%d)\n%!" socket pool
+        cache_mrrg cache_encodings
+    in
+    match Serve_server.run ~on_ready config with
+    | Ok () -> Printf.eprintf "cgra_serve: shut down cleanly\n%!"
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident mapping daemon: a Unix-socket server whose worker pool, elaborated \
+          MRRGs, compiled encodings and learnt solver state survive across requests, so \
+          repeated and incremental mapping queries are answered warm (see docs/SERVING.md).  \
+          Shuts down gracefully on SIGTERM or a shutdown request, draining in-flight work.")
+    Term.(
+      const run $ socket_arg $ pool_arg $ queue_arg $ cache_mrrg_arg $ cache_encodings_arg
+      $ max_limit_arg)
+
+let client_cmd =
+  let repeat_arg =
+    let doc = "Send the request N times over one connection (stress / warm-start probe)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let stats_req_arg =
+    let doc = "Ask for daemon statistics instead of mapping." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_arg =
+    let doc = "Ask the daemon to shut down gracefully instead of mapping." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let explain_flag_arg =
+    let doc = "Request an unsat-core diagnosis for an infeasible answer." in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let exit_of_reply = function
+    | Serve_protocol.Verdict v -> (
+        match v.Serve_protocol.status with
+        | "feasible" | "infeasible" -> 0
+        | "timeout" -> 3
+        | _ -> 1)
+    | Serve_protocol.Stats_reply _ | Serve_protocol.Ok_reply -> 0
+    | Serve_protocol.Error_reply { code; _ } -> if code = "protocol" then protocol_exit else 1
+  in
+  let print_reply ~json = function
+    | Serve_protocol.Verdict v ->
+        if json then print_endline (Jsonl.to_string (Serve_protocol.verdict_to_json v))
+        else begin
+          Printf.printf "%s (%.3fs wall) engine=%s cache_hit=%b warm_start=%b%s\n"
+            v.Serve_protocol.status v.Serve_protocol.wall_seconds v.Serve_protocol.engine
+            v.Serve_protocol.provenance.Serve_protocol.cache_hit
+            v.Serve_protocol.provenance.Serve_protocol.warm_start
+            (match v.Serve_protocol.objective with
+            | Some o -> Printf.sprintf " objective=%d" o
+            | None -> "");
+          match v.Serve_protocol.core with
+          | [] -> ()
+          | core -> Printf.printf "core: %s\n" (String.concat " " core)
+        end
+    | Serve_protocol.Stats_reply s when json ->
+        print_endline (Jsonl.to_string (Serve_protocol.stats_to_json s))
+    | Serve_protocol.Stats_reply s ->
+        Printf.printf
+          "requests=%d warm_starts=%d uptime=%.1fs workers=%d\n\
+           mrrg cache: %d/%d resident, %d hits, %d misses, %d evictions\n\
+           session cache: %d/%d resident, %d hits, %d misses, %d evictions\n"
+          s.Serve_protocol.requests s.Serve_protocol.warm_starts
+          s.Serve_protocol.uptime_seconds s.Serve_protocol.pool_workers
+          s.Serve_protocol.mrrg_size s.Serve_protocol.mrrg_capacity s.Serve_protocol.mrrg_hits
+          s.Serve_protocol.mrrg_misses s.Serve_protocol.mrrg_evictions
+          s.Serve_protocol.session_size s.Serve_protocol.session_capacity
+          s.Serve_protocol.session_hits s.Serve_protocol.session_misses
+          s.Serve_protocol.session_evictions
+    | Serve_protocol.Ok_reply -> print_endline "ok"
+    | Serve_protocol.Error_reply { code; message } ->
+        Printf.eprintf "daemon error [%s]: %s\n%!" code message
+  in
+  let run socket bench arch size contexts limit optimize certify backend explain stats shutdown
+      repeat json =
+    let payload =
+      if shutdown then Serve_protocol.Shutdown
+      else if stats then Serve_protocol.Stats
+      else
+        Serve_protocol.Map
+          {
+            Serve_protocol.benchmark = bench;
+            dfg_text = None;
+            arch;
+            adl_text = None;
+            size;
+            contexts;
+            limit;
+            optimize;
+            certify;
+            explain;
+            backend;
+          }
+    in
+    match Serve_client.connect ~socket with
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+    | Ok client ->
+        let finally () = Serve_client.close client in
+        Fun.protect ~finally (fun () ->
+            let code = ref 0 in
+            for i = 1 to max 1 repeat do
+              let request =
+                { Serve_protocol.id = Some (string_of_int i); payload }
+              in
+              match Serve_client.roundtrip client request with
+              | Error msg ->
+                  prerr_endline ("error: " ^ msg);
+                  exit protocol_exit
+              | Ok { Serve_protocol.reply; _ } ->
+                  print_reply ~json reply;
+                  code := exit_of_reply reply
+            done;
+            if !code <> 0 then exit !code)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send mapping (or stats/shutdown) requests to a running $(b,serve) daemon over its \
+          Unix socket.  $(b,--repeat) reuses one connection, so the second and later answers \
+          exercise the daemon's caches and warm starts.")
+    Term.(
+      const run $ socket_arg $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg
+      $ optimize_arg $ certify_arg $ backend_arg $ explain_flag_arg $ stats_req_arg
+      $ shutdown_arg $ repeat_arg $ json_arg)
+
 let main =
   let doc = "architecture-agnostic ILP mapping for CGRAs (DAC'18 reproduction)" in
   Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
     [
-      map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; backends_cmd;
-      benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
+      map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; serve_cmd;
+      client_cmd; backends_cmd; benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd;
+      dfg_dot_cmd; adl_cmd; lp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

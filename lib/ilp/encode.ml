@@ -52,21 +52,35 @@ let encode_row solver (row : Model.row) =
         encode_le solver (List.map (fun (c, v) -> (-c, v)) row.terms) (-row.rhs)
       end
 
+(* Shared clausification body: model variable [v] lives at solver
+   variable [base + v].  [base = 0] is the classic whole-solver layout
+   of {!encode}; a non-zero base is how {!encode_into} stacks several
+   models into one resident solver. *)
+let encode_block solver ~base model =
+  for v = 0 to Model.nvars model - 1 do
+    let p = Model.branch_priority model v in
+    if p <> 0.0 then Solver.set_activity solver (base + v) p
+  done;
+  let shift (row : Model.row) =
+    if base = 0 then row
+    else { row with Model.terms = List.map (fun (c, v) -> (c, base + v)) row.Model.terms }
+  in
+  List.iter (fun row -> encode_row solver (shift row)) (Model.rows model)
+
+(* Seed polarities from the model's phase hints by trial propagation,
+   so auxiliary encoding variables also receive phases consistent
+   with the hinted assignment (critical for warm starts). *)
+let seed_block_phases solver ~base model =
+  if Model.nvars model > 0 then
+    Solver.seed_phases solver
+      (List.init (Model.nvars model) (fun v -> Lit.make (base + v) (Model.branch_phase model v)))
+
 let encode ?proof model =
   let solver = Solver.create () in
   (match proof with Some _ -> Solver.set_proof solver proof | None -> ());
   ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
-  for v = 0 to Model.nvars model - 1 do
-    let p = Model.branch_priority model v in
-    if p <> 0.0 then Solver.set_activity solver v p
-  done;
-  List.iter (encode_row solver) (Model.rows model);
-  (* Seed polarities from the model's phase hints by trial propagation,
-     so auxiliary encoding variables also receive phases consistent
-     with the hinted assignment (critical for warm starts). *)
-  if Model.nvars model > 0 then
-    Solver.seed_phases solver
-      (List.init (Model.nvars model) (fun v -> Lit.make v (Model.branch_phase model v)));
+  encode_block solver ~base:0 model;
+  seed_block_phases solver ~base:0 model;
   let objective_lits, objective_offset =
     match Model.objective model with
     | Model.Feasibility -> ([], 0)
@@ -82,6 +96,34 @@ let encode ?proof model =
 
 let assignment t model =
   Array.init (Model.nvars model) (fun v -> Solver.value t.solver v)
+
+(* ---------------- embedding into a resident solver ---------------- *)
+
+type embedded = { e_base : int; e_activate : Lit.t option }
+
+let encode_into ?(guarded = false) solver model =
+  (match Model.objective model with
+  | Model.Feasibility -> ()
+  | Model.Minimize _ ->
+      invalid_arg "Encode.encode_into: feasibility models only (no objective descent)");
+  let n = Model.nvars model in
+  let base = if n > 0 then Solver.new_vars solver n else Solver.nvars solver in
+  let e_activate = if guarded then Some (Lit.pos (Solver.new_var solver)) else None in
+  (* Relativise every clause of this block (auxiliary definitions
+     included) to the selector: the block binds the search exactly when
+     its activation literal is assumed, so independent blocks coexist
+     in one solver and learned clauses stay sound across all of them. *)
+  (match e_activate with
+  | Some l -> Solver.set_guard solver (Some (Lit.negate l))
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Solver.set_guard solver None)
+    (fun () -> encode_block solver ~base model);
+  seed_block_phases solver ~base model;
+  { e_base = base; e_activate }
+
+let embedded_assignment solver emb model =
+  Array.init (Model.nvars model) (fun v -> Solver.value solver (emb.e_base + v))
 
 (* ---------------- grouped (selector-guarded) encoding ---------------- *)
 

@@ -1,0 +1,94 @@
+type 'a entry = { value : 'a; mutable tick : int }
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;  (* monotone recency counter *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+let create ~capacity =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    capacity = max 0 capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.tick <- t.clock
+
+(* Capacities are tens of entries, so a linear scan beats maintaining
+   an intrusive list; eviction is O(size), every lookup O(1). *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best <= entry.tick -> acc
+        | _ -> Some (key, entry.tick))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_add t key build =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+          t.hits <- t.hits + 1;
+          touch t entry;
+          (entry.value, true)
+      | None ->
+          t.misses <- t.misses + 1;
+          let value = build () in
+          if t.capacity > 0 then begin
+            if Hashtbl.length t.table >= t.capacity then evict_lru t;
+            let entry = { value; tick = 0 } in
+            touch t entry;
+            Hashtbl.replace t.table key entry
+          end;
+          (value, false))
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+          t.hits <- t.hits + 1;
+          touch t entry;
+          Some entry.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let keys_by_recency t =
+  locked t (fun () ->
+      Hashtbl.fold (fun key entry acc -> (key, entry.tick) :: acc) t.table []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.map fst)

@@ -1,0 +1,54 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; buf = Buffer.create 512 }
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let payload = Bytes.of_string s in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd payload off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let read_line t =
+  let chunk = Bytes.create 4096 in
+  let rec take () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf data (i + 1) (String.length data - i - 1);
+        Ok (String.sub data 0 i)
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed by daemon"
+        | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            take ()
+        | exception Unix.Unix_error (err, _, _) ->
+            Error ("read failed: " ^ Unix.error_message err))
+  in
+  take ()
+
+let roundtrip t request =
+  match write_all t.fd (Protocol.request_to_line request ^ "\n") with
+  | exception Unix.Unix_error (err, _, _) -> Error ("write failed: " ^ Unix.error_message err)
+  | () -> (
+      match read_line t with
+      | Error e -> Error e
+      | Ok line -> Protocol.response_of_line line)
+
+let one_shot ~socket request =
+  match connect ~socket with
+  | Error e -> Error e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> roundtrip t request)

@@ -1,0 +1,20 @@
+(** Client side of the daemon protocol: connect, send a request line,
+    read the response line.
+
+    Used by [cgra_map client], the serve benchmark and the end-to-end
+    tests.  Errors are strings, never exceptions — a vanished daemon is
+    an ordinary outcome for a client. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+
+val close : t -> unit
+
+val roundtrip : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response.  [Error] covers
+    connection loss and malformed response lines (a protocol-level
+    error {e reply} is an [Ok] carrying [Error_reply]). *)
+
+val one_shot : socket:string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, roundtrip once, close. *)

@@ -1,0 +1,45 @@
+(** Request execution behind the daemon: name resolution, the two-tier
+    cache, and the fast/slow solving paths.
+
+    {b Tier 1} caches elaborated MRRGs by [(architecture digest, II)] —
+    the architecture's canonical ADL text is digested, so the same
+    fabric requested by library name, file path or inline ADL shares
+    one entry.  {b Tier 2} caches live {!Session}s by
+    [(DFG digest, architecture digest)]; each session holds per-II
+    compiled encodings internally (a refinement of keying encodings by
+    [(arch digest, II)] alone — an encoding depends on the DFG too, so
+    the DFG belongs in the key).
+
+    A request takes the {b fast path} — session cache, incremental
+    solver, warm starts — exactly when it is a plain feasibility query:
+    no optimisation, no certification, no explanation, no named
+    backend.  Anything else takes the {b slow path}, a stateless
+    {!Cgra_core.Ilp_mapper.map} call that still reuses the tier-1 MRRG
+    cache, so served verdicts of every flavour go through the same
+    replay validation as one-shot CLI answers. *)
+
+type t
+
+val create : ?mrrg_capacity:int -> ?session_capacity:int -> ?max_limit:float -> unit -> t
+(** Capacities default to 32 (tier 1) and 16 (tier 2); [0] disables a
+    tier.  [max_limit] (default 120 s) caps every request's deadline —
+    a client's [limit] is clamped to it, and [limit = 0] means "server
+    maximum", so no request can hold a worker forever. *)
+
+val handle_map : t -> Protocol.map_request -> (Protocol.verdict, string * string) result
+(** Execute one mapping request.  [Error (code, message)] uses the
+    protocol error codes ([bad_request] for unresolvable names or
+    invalid parameters, [backend] for external-solver failures,
+    [internal] for unexpected exceptions — the daemon must survive any
+    single request). *)
+
+val stats : t -> pool_workers:int -> Protocol.stats
+
+val mrrg_cache_stats : t -> Cache.stats
+val session_cache_stats : t -> Cache.stats
+
+val arch_digest : Cgra_arch.Arch.t -> string
+(** Hex digest of the architecture's canonical ADL rendering. *)
+
+val dfg_digest : Cgra_dfg.Dfg.t -> string
+(** Hex digest of the DFG's canonical textual rendering. *)

@@ -1,0 +1,96 @@
+module Solver = Cgra_satoca.Solver
+module Encode = Cgra_ilp.Encode
+module Formulation = Cgra_core.Formulation
+module Extract = Cgra_core.Extract
+module Check = Cgra_core.Check
+module IM = Cgra_core.Ilp_mapper
+module Deadline = Cgra_util.Deadline
+module Dfg = Cgra_dfg.Dfg
+
+type block = { formulation : Formulation.t; embedded : Encode.embedded }
+
+type t = {
+  solver : Solver.t;
+  dfg : Dfg.t;
+  mutable blocks : (int * block) list;  (* ii -> compiled encoding, first-use order *)
+  mutable solves : int;
+  mutex : Mutex.t;
+}
+
+type outcome = { result : IM.result; cache_hit : bool; warm_start : bool; solves : int }
+
+let create dfg =
+  { solver = Solver.create (); dfg; blocks = []; solves = 0; mutex = Mutex.create () }
+
+let compiled_iis t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> List.map fst t.blocks)
+
+let info_of ~size ~solve_seconds ~build_seconds ~certified : IM.info =
+  {
+    IM.size;
+    solve_seconds;
+    build_seconds;
+    objective_value = None;
+    proven_optimal = false;
+    sat_calls = 1;
+    presolve_fixed = 0;
+    certified;
+    proof_steps = 0;
+    diagnosis = None;
+  }
+
+let solve ?(deadline = Deadline.none) t ~mrrg ~ii =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let t0 = Deadline.now () in
+      let block, cache_hit =
+        match List.assoc_opt ii t.blocks with
+        | Some b -> (b, true)
+        | None ->
+            let formulation = Formulation.build ~objective:Formulation.Feasibility t.dfg mrrg in
+            let embedded = Encode.encode_into ~guarded:true t.solver formulation.Formulation.model in
+            let b = { formulation; embedded } in
+            t.blocks <- t.blocks @ [ (ii, b) ];
+            (b, false)
+      in
+      let build_seconds = Deadline.elapsed_of ~start:t0 in
+      let warm_start = t.solves > 0 in
+      let assumptions =
+        match block.embedded.Encode.e_activate with
+        | Some l -> [ l ]
+        | None -> []  (* unreachable: session blocks are always guarded *)
+      in
+      let t1 = Deadline.now () in
+      let answer = Solver.solve_with ~deadline ~assumptions t.solver in
+      let solve_seconds = Deadline.elapsed_of ~start:t1 in
+      let size = Formulation.size block.formulation in
+      let result =
+        match answer with
+        | Solver.Sat ->
+            let assignment =
+              Encode.embedded_assignment t.solver block.embedded
+                block.formulation.Formulation.model
+            in
+            let mapping = Extract.mapping block.formulation assignment in
+            (match Check.run mapping with
+            | Ok () -> ()
+            | Error errs ->
+                failwith
+                  ("session solver produced a mapping the independent checker rejects: "
+                  ^ String.concat "; " errs));
+            IM.Mapped (mapping, info_of ~size ~solve_seconds ~build_seconds ~certified:true)
+        | Solver.Unsat ->
+            IM.Infeasible (info_of ~size ~solve_seconds ~build_seconds ~certified:false)
+        | Solver.Unknown ->
+            IM.Timeout (info_of ~size ~solve_seconds ~build_seconds ~certified:false)
+      in
+      (* A timeout still counts as a solve: the solver retains learnt
+         clauses and phases from the truncated run, so the next attempt
+         is warm in the meaningful sense. *)
+      t.solves <- t.solves + 1;
+      { result; cache_hit; warm_start; solves = t.solves })

@@ -227,3 +227,22 @@ let to_float = function Num f -> Some f | _ -> None
 let to_int = function Num f when Float.is_integer f -> Some (int_of_float f) | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None
+
+(* ---------------- multi-writer append primitives ---------------- *)
+
+let open_append path = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let append_raw_line fd line =
+  (* One write(2) call per record on an O_APPEND descriptor: POSIX makes
+     the seek-to-end and the write atomic with respect to other
+     appenders, so concurrent writers (several daemon workers, or a
+     daemon plus a CLI sweep) interleave whole lines, never bytes. *)
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let written = Unix.write fd payload 0 len in
+  if written <> len then
+    failwith
+      (Printf.sprintf "Jsonl.append_raw_line: short write (%d of %d bytes) — journal torn" written
+         len)
+
+let append_line fd v = append_raw_line fd (to_string v)

@@ -29,3 +29,21 @@ val to_float : t -> float option
 val to_int : t -> int option
 val to_str : t -> string option
 val to_bool : t -> bool option
+
+(** {1 Multi-writer append}
+
+    Journal lines written through these primitives are safe against
+    {e concurrent writers in separate processes or domains}: the
+    descriptor is opened [O_APPEND] and every record is emitted as a
+    single [write(2)], which POSIX guarantees lands atomically at the
+    end of the file — whole lines interleave, bytes never do. *)
+
+val open_append : string -> Unix.file_descr
+(** Open (creating if necessary) in [O_WRONLY + O_APPEND] mode. *)
+
+val append_raw_line : Unix.file_descr -> string -> unit
+(** Write [line + "\n"] with one [write(2)].  [line] must not contain a
+    newline.  @raise Failure on a short write (torn journal). *)
+
+val append_line : Unix.file_descr -> t -> unit
+(** {!to_string} the value and {!append_raw_line} it. *)

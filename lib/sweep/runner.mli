@@ -72,3 +72,10 @@ val run_anneal : ?cancel:bool Atomic.t -> ?seeds:int -> Job.t -> Record.t
 val prepare : Job.t -> (Cgra_dfg.Dfg.t * Cgra_mrrg.Mrrg.t, string) result
 (** Name resolution + MRRG elaboration without solving (for tests and
     diagnostics). *)
+
+val load_benchmark : string -> (Cgra_dfg.Dfg.t, string) result
+(** Resolve a benchmark by built-in name, else as a [.dfg] file path. *)
+
+val load_arch : size:int -> string -> (Cgra_arch.Arch.t, string) result
+(** Resolve an architecture by library name at [size], else as an ADL
+    file path (whose own dimensions then apply). *)

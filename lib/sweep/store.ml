@@ -1,20 +1,18 @@
-type t = { oc : out_channel; mutex : Mutex.t }
+type t = { fd : Unix.file_descr; mutex : Mutex.t }
 
-let append_to path =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
-  { oc; mutex = Mutex.create () }
+let append_to path = { fd = Jsonl.open_append path; mutex = Mutex.create () }
 
 let append t record =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      output_string t.oc (Record.to_line record);
-      output_char t.oc '\n';
-      (* Flush every line: the journal must survive a killed sweep. *)
-      flush t.oc)
+      (* A single O_APPEND write per record: atomic against other
+         processes/domains appending to the same journal, and already
+         durable-per-line — no buffering, nothing to flush. *)
+      Jsonl.append_raw_line t.fd (Record.to_line record))
 
-let close t = close_out t.oc
+let close t = Unix.close t.fd
 
 let load path =
   if not (Sys.file_exists path) then []

@@ -1,10 +1,13 @@
 (** Append-only JSONL result store, doubling as the resume journal.
 
-    Each record is one line, flushed as soon as it is written, so a
-    sweep killed at any point loses at most the jobs still in flight;
-    re-running with the same output file skips every recorded job.
-    {!append} is mutex-protected and may be called concurrently from
-    the scheduler's event callback. *)
+    Each record is one line, emitted as a single [write(2)] on an
+    [O_APPEND] descriptor (see {!Jsonl.append_raw_line}), so a sweep
+    killed at any point loses at most the jobs still in flight, and
+    {e several writers} — domains in one process, or separate
+    processes such as a resident daemon plus a CLI sweep — can append
+    to the same journal without tearing each other's lines.
+    {!append} is additionally mutex-protected, so one store handle may
+    be shared by the scheduler's event callback across workers. *)
 
 type t
 

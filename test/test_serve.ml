@@ -1,0 +1,573 @@
+(* Tests for the mapping daemon: protocol framing, the two-tier LRU
+   cache, resident sessions (warm-started incremental solves), the
+   request engine, and a live socket round-trip.
+
+   Solver-facing tests run on the 2x2 fabric where every query decides
+   in well under a second: on homo-orth, mac is infeasible at II 1 and
+   2, while 2x2-f is infeasible at II 1 and becomes feasible at II 2. *)
+
+module Dfg = Cgra_dfg.Dfg
+module Benchmarks = Cgra_dfg.Benchmarks
+module Generator = Cgra_dfg.Generator
+module Rng = Cgra_util.Rng
+module Deadline = Cgra_util.Deadline
+module Lib = Cgra_arch.Library
+module Build = Cgra_mrrg.Build
+module IM = Cgra_core.Ilp_mapper
+module Jsonl = Cgra_sweep.Jsonl
+module Protocol = Cgra_serve.Protocol
+module Cache = Cgra_serve.Cache
+module Session = Cgra_serve.Session
+module Engine = Cgra_serve.Engine
+module Server = Cgra_serve.Server
+module Client = Cgra_serve.Client
+
+let benchmark name =
+  match Benchmarks.by_name name with
+  | Some dfg -> dfg
+  | None -> Alcotest.failf "unknown benchmark %s" name
+
+let arch name ~size =
+  match Lib.find_config ~size name with
+  | Some config -> Lib.make config
+  | None -> Alcotest.failf "unknown arch %s" name
+
+let small_mrrg ?(arch_name = "homo-orth") ii = Build.elaborate (arch arch_name ~size:2) ~ii
+
+let status_of = function
+  | IM.Mapped _ -> "feasible"
+  | IM.Infeasible _ -> "infeasible"
+  | IM.Timeout _ -> "timeout"
+
+let map_request ?(bench = "mac") ?(arch = "homo-orth") ?(size = 2) ?(contexts = 1)
+    ?(limit = 30.0) ?(optimize = false) ?(certify = false) ?(explain = false) ?backend () =
+  {
+    Protocol.benchmark = bench;
+    dfg_text = None;
+    arch;
+    adl_text = None;
+    size;
+    contexts;
+    limit;
+    optimize;
+    certify;
+    explain;
+    backend;
+  }
+
+(* ---------------- protocol ---------------- *)
+
+let test_protocol_request_roundtrip () =
+  let requests =
+    [
+      { Protocol.id = Some "42"; payload = Protocol.Map (map_request ~certify:true ()) };
+      { Protocol.id = None; payload = Protocol.Map (map_request ~explain:true ()) };
+      { Protocol.id = Some "s"; payload = Protocol.Stats };
+      { Protocol.id = None; payload = Protocol.Shutdown };
+      { Protocol.id = None; payload = Protocol.Ping };
+    ]
+  in
+  List.iter
+    (fun req ->
+      let line = Protocol.request_to_line req in
+      Alcotest.(check bool) "one line" false (String.contains line '\n');
+      match Protocol.request_of_line line with
+      | Error (code, msg) -> Alcotest.failf "reparse failed: %s %s" code msg
+      | Ok req' -> Alcotest.(check bool) "request roundtrips" true (req = req'))
+    requests
+
+let test_protocol_inline_texts () =
+  let dfg_text = Dfg.to_text (benchmark "mac") in
+  let req =
+    {
+      Protocol.id = None;
+      payload =
+        Protocol.Map { (map_request ()) with Protocol.dfg_text = Some dfg_text };
+    }
+  in
+  match Protocol.request_of_line (Protocol.request_to_line req) with
+  | Ok { Protocol.payload = Protocol.Map m; _ } ->
+      Alcotest.(check (option string)) "inline dfg survives" (Some dfg_text) m.Protocol.dfg_text
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error (code, msg) -> Alcotest.failf "reparse failed: %s %s" code msg
+
+let test_protocol_version_mismatch () =
+  match Protocol.request_of_line {|{"v":99,"op":"ping"}|} with
+  | Error ("protocol", msg) ->
+      Alcotest.(check bool) "names the version" true
+        (Astring.String.is_infix ~affix:"99" msg)
+  | Error (code, _) -> Alcotest.failf "wrong code %s" code
+  | Ok _ -> Alcotest.fail "accepted wrong version"
+
+let test_protocol_malformed () =
+  List.iter
+    (fun line ->
+      match Protocol.request_of_line line with
+      | Error ("protocol", _) -> ()
+      | Error (code, _) -> Alcotest.failf "wrong code %s for %S" code line
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [ "{not json"; "{}"; {|{"v":1}|}; {|{"v":1,"op":"frobnicate"}|} ]
+
+let test_protocol_response_roundtrip () =
+  let verdict =
+    {
+      Protocol.status = "feasible";
+      engine = "sat-incremental";
+      objective = Some 7;
+      routing_cost = Some 7;
+      placement = [ ("a", "pe_0_0.fu:0"); ("b", "pe_1_1.fu:1") ];
+      solve_seconds = 0.125;
+      build_seconds = 0.25;
+      wall_seconds = 0.5;
+      sat_calls = 1;
+      presolve_fixed = 0;
+      certified = true;
+      proof_steps = 0;
+      core = [ "place:a"; "excl:pe_0_0.fu:0" ];
+      provenance =
+        {
+          Protocol.mrrg_cache_hit = true;
+          cache_hit = true;
+          warm_start = true;
+          session_solves = 3;
+        };
+    }
+  in
+  let responses =
+    [
+      { Protocol.r_id = Some "42"; reply = Protocol.Verdict verdict };
+      { Protocol.r_id = None; reply = Protocol.Ok_reply };
+      {
+        Protocol.r_id = Some "x";
+        reply = Protocol.Error_reply { code = "busy"; message = "queue full" };
+      };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_line (Protocol.response_to_line resp) with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok resp' -> Alcotest.(check bool) "response roundtrips" true (resp = resp'))
+    responses
+
+let test_protocol_decision_projection () =
+  let v ~status ~objective =
+    {
+      Protocol.status;
+      engine = "sat";
+      objective;
+      routing_cost = None;
+      placement = [];
+      solve_seconds = 1.0;
+      build_seconds = 2.0;
+      wall_seconds = 3.0;
+      sat_calls = 9;
+      presolve_fixed = 1;
+      certified = false;
+      proof_steps = 0;
+      core = [];
+      provenance = Protocol.cold_provenance;
+    }
+  in
+  (* Identical decisions with wildly different timings/provenance must
+     print identical decision lines — that is the byte-comparison the
+     CI smoke grid relies on. *)
+  let a = Jsonl.to_string (Protocol.decision_json (v ~status:"feasible" ~objective:(Some 4))) in
+  let b =
+    Jsonl.to_string
+      (Protocol.decision_json
+         {
+           (v ~status:"feasible" ~objective:(Some 4)) with
+           Protocol.solve_seconds = 9.0;
+           engine = "other";
+           provenance =
+             {
+               Protocol.mrrg_cache_hit = true;
+               cache_hit = true;
+               warm_start = true;
+               session_solves = 12;
+             };
+         })
+  in
+  Alcotest.(check string) "decision bytes equal" a b;
+  Alcotest.(check string)
+    "projection content" {|{"status":"feasible","objective":4}|} a
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  let build v () = v in
+  ignore (Cache.find_or_add c "a" (build 1));
+  ignore (Cache.find_or_add c "b" (build 2));
+  (* Touch "a" so "b" is now least recently used. *)
+  ignore (Cache.find_or_add c "a" (build 0));
+  ignore (Cache.find_or_add c "c" (build 3));
+  Alcotest.(check (list string)) "b evicted, c most recent" [ "c"; "a" ]
+    (Cache.keys_by_recency c);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 3 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Cache.size;
+  (* The survivor hits; the evicted key rebuilds (and, the cache being
+     full, pushes out the new LRU). *)
+  let _, hit_a = Cache.find_or_add c "a" (build 1) in
+  let _, hit_b = Cache.find_or_add c "b" (build 2) in
+  Alcotest.(check bool) "a survived" true hit_a;
+  Alcotest.(check bool) "b was rebuilt" false hit_b;
+  Alcotest.(check (list string)) "c evicted in turn" [ "b"; "a" ] (Cache.keys_by_recency c)
+
+let test_cache_capacity_zero_bypass () =
+  let c = Cache.create ~capacity:0 in
+  let builds = ref 0 in
+  let build () = incr builds; !builds in
+  let v1, hit1 = Cache.find_or_add c "k" build in
+  let v2, hit2 = Cache.find_or_add c "k" build in
+  Alcotest.(check bool) "never hits" false (hit1 || hit2);
+  Alcotest.(check int) "builds every time" 2 !builds;
+  Alcotest.(check bool) "values fresh" true (v1 = 1 && v2 = 2);
+  let s = Cache.stats c in
+  Alcotest.(check int) "size stays zero" 0 s.Cache.size;
+  Alcotest.(check int) "all misses" 2 s.Cache.misses
+
+let test_cache_builder_exception_caches_nothing () =
+  let c = Cache.create ~capacity:4 in
+  (match Cache.find_or_add c "k" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check (option int)) "nothing resident" None (Cache.find c "k");
+  let v, hit = Cache.find_or_add c "k" (fun () -> 7) in
+  Alcotest.(check bool) "rebuilds cleanly" true (v = 7 && not hit)
+
+(* ---------------- session ---------------- *)
+
+let test_session_incremental_ii () =
+  (* The SAT-MapIt pattern: one resident solver, II = 1 then 2.  2x2-f
+     flips from infeasible to feasible, and the second solve reuses
+     solver state (warm) while compiling a fresh block (no cache hit). *)
+  let session = Session.create (benchmark "2x2-f") in
+  let o1 = Session.solve session ~mrrg:(small_mrrg 1) ~ii:1 in
+  Alcotest.(check string) "ii=1 infeasible" "infeasible" (status_of o1.Session.result);
+  Alcotest.(check bool) "first solve is cold" false
+    (o1.Session.cache_hit || o1.Session.warm_start);
+  let o2 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  Alcotest.(check string) "ii=2 feasible" "feasible" (status_of o2.Session.result);
+  Alcotest.(check bool) "new block: not a cache hit" false o2.Session.cache_hit;
+  Alcotest.(check bool) "but solver state is warm" true o2.Session.warm_start;
+  Alcotest.(check (list int)) "blocks compiled in order" [ 1; 2 ] (Session.compiled_iis session);
+  (* Repeat of a compiled II: skips build and clausification. *)
+  let o3 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  Alcotest.(check string) "repeat agrees" "feasible" (status_of o3.Session.result);
+  Alcotest.(check bool) "repeat hits the encoding cache" true o3.Session.cache_hit;
+  Alcotest.(check int) "three solves served" 3 o3.Session.solves;
+  (* The feasible answer passed the independent checker en route. *)
+  match o3.Session.result with
+  | IM.Mapped (_, info) -> Alcotest.(check bool) "mapped is certified" true info.IM.certified
+  | _ -> Alcotest.fail "expected a mapping"
+
+let test_session_repeat_infeasible () =
+  let session = Session.create (benchmark "mac") in
+  let o1 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  let o2 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  Alcotest.(check string) "mac ii=2 infeasible" "infeasible" (status_of o1.Session.result);
+  Alcotest.(check string) "repeat still infeasible" "infeasible" (status_of o2.Session.result);
+  Alcotest.(check bool) "repeat warm + hit" true
+    (o2.Session.cache_hit && o2.Session.warm_start)
+
+(* Differential guarantee of the whole warm-start design: for random
+   DFGs, the resident guarded-block session and the stateless one-shot
+   mapper must always agree — cold, warm, and across both IIs. *)
+let prop_session_agrees_with_oneshot =
+  QCheck2.Test.make ~name:"session warm solve agrees with one-shot cold solve" ~count:12
+    QCheck2.Gen.(tup2 (int_range 0 10_000) (int_range 1 5))
+    (fun (seed, n_internal) ->
+      let rng = Rng.create ~seed in
+      let dfg = Generator.generate rng { Generator.default with Generator.n_internal } in
+      let session = Session.create dfg in
+      List.for_all
+        (fun ii ->
+          let mrrg = small_mrrg ii in
+          let cold = IM.map ~warm_start:0.0 dfg mrrg in
+          let o1 = Session.solve session ~mrrg ~ii in
+          let o2 = Session.solve session ~mrrg ~ii in
+          status_of cold = status_of o1.Session.result
+          && status_of cold = status_of o2.Session.result
+          && o2.Session.cache_hit
+          && o2.Session.warm_start)
+        [ 1; 2 ])
+
+(* ---------------- engine ---------------- *)
+
+let test_engine_distinct_arch_digests () =
+  let e = Engine.create () in
+  let orth = map_request ~bench:"2x2-f" ~arch:"homo-orth" ~contexts:2 () in
+  let diag = map_request ~bench:"2x2-f" ~arch:"homo-diag" ~contexts:2 () in
+  let v_orth = match Engine.handle_map e orth with Ok v -> v | Error (c, m) -> Alcotest.failf "%s %s" c m in
+  let v_diag = match Engine.handle_map e diag with Ok v -> v | Error (c, m) -> Alcotest.failf "%s %s" c m in
+  (* Distinct fabrics must get distinct sessions... *)
+  Alcotest.(check int) "two sessions resident" 2 (Engine.session_cache_stats e).Cache.size;
+  Alcotest.(check int) "two MRRGs resident" 2 (Engine.mrrg_cache_stats e).Cache.size;
+  (* ...and each verdict must match the stateless reference for its fabric. *)
+  List.iter
+    (fun (arch_name, (v : Protocol.verdict)) ->
+      let mrrg = Build.elaborate (arch arch_name ~size:2) ~ii:2 in
+      let reference = IM.map ~warm_start:0.0 (benchmark "2x2-f") mrrg in
+      Alcotest.(check string)
+        (arch_name ^ " agrees with one-shot")
+        (status_of reference) v.Protocol.status)
+    [ ("homo-orth", v_orth); ("homo-diag", v_diag) ];
+  (* Repeats hit their own keys, not each other's. *)
+  let v_orth2 = match Engine.handle_map e orth with Ok v -> v | Error (c, m) -> Alcotest.failf "%s %s" c m in
+  Alcotest.(check bool) "repeat hits" true v_orth2.Protocol.provenance.Protocol.cache_hit;
+  Alcotest.(check string) "repeat agrees" v_orth.Protocol.status v_orth2.Protocol.status
+
+let test_engine_bad_requests () =
+  let e = Engine.create () in
+  (match Engine.handle_map e (map_request ~bench:"no-such-kernel" ()) with
+  | Error ("bad_request", _) -> ()
+  | Error (code, _) -> Alcotest.failf "wrong code %s" code
+  | Ok _ -> Alcotest.fail "accepted unknown benchmark");
+  (match Engine.handle_map e (map_request ~arch:"no-such-fabric" ()) with
+  | Error ("bad_request", _) -> ()
+  | _ -> Alcotest.fail "accepted unknown arch");
+  match Engine.handle_map e { (map_request ()) with Protocol.contexts = 0 } with
+  | Error ("bad_request", _) -> ()
+  | _ -> Alcotest.fail "accepted contexts=0"
+
+let test_engine_concurrent_mixed_keys () =
+  (* Four domains hammer two different (dfg, arch, ii) keys through one
+     engine: per-session mutexes serialise same-key solves, different
+     keys run in parallel, and every answer stays correct. *)
+  let e = Engine.create () in
+  let req_infeasible = map_request ~bench:"mac" ~contexts:1 () in
+  let req_feasible = map_request ~bench:"2x2-f" ~contexts:2 () in
+  let run req () =
+    List.init 3 (fun _ ->
+        match Engine.handle_map e req with
+        | Ok v -> v.Protocol.status
+        | Error (c, m) -> Printf.sprintf "error:%s:%s" c m)
+  in
+  let domains =
+    [
+      Domain.spawn (run req_infeasible);
+      Domain.spawn (run req_feasible);
+      Domain.spawn (run req_infeasible);
+      Domain.spawn (run req_feasible);
+    ]
+  in
+  let results = List.map Domain.join domains in
+  List.iteri
+    (fun i statuses ->
+      let want = if i mod 2 = 0 then "infeasible" else "feasible" in
+      List.iter (fun got -> Alcotest.(check string) "concurrent verdict" want got) statuses)
+    results;
+  let s = Engine.session_cache_stats e in
+  Alcotest.(check int) "two sessions" 2 s.Cache.size
+
+(* ---------------- live socket ---------------- *)
+
+let temp_socket () = Printf.sprintf "/tmp/cgra-serve-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000)
+
+let with_server ?(config = Server.default_config) f =
+  let socket = temp_socket () in
+  let config = { config with Server.socket_path = socket } in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () -> Server.run ~on_ready:(fun () -> Atomic.set ready true) config)
+  in
+  let rec await tries =
+    if tries = 0 then Alcotest.fail "server never became ready"
+    else if not (Atomic.get ready) then begin
+      Unix.sleepf 0.02;
+      await (tries - 1)
+    end
+  in
+  await 250;
+  let shutdown () =
+    ignore (Client.one_shot ~socket { Protocol.id = None; payload = Protocol.Shutdown })
+  in
+  let result =
+    try f socket with e -> shutdown (); ignore (Domain.join server); raise e
+  in
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "server failed: %s" e);
+  Alcotest.(check bool) "socket unlinked after shutdown" false (Sys.file_exists socket);
+  result
+
+let roundtrip_ok client request =
+  match Client.roundtrip client request with
+  | Ok { Protocol.reply; _ } -> reply
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let map_reply client ?id req =
+  match roundtrip_ok client { Protocol.id; payload = Protocol.Map req } with
+  | Protocol.Verdict v -> v
+  | Protocol.Error_reply { code; message } -> Alcotest.failf "daemon error %s: %s" code message
+  | _ -> Alcotest.fail "expected a verdict"
+
+let test_socket_end_to_end () =
+  with_server (fun socket ->
+      let client = match Client.connect ~socket with Ok c -> c | Error e -> Alcotest.fail e in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* ping *)
+          (match roundtrip_ok client { Protocol.id = Some "p"; payload = Protocol.Ping } with
+          | Protocol.Ok_reply -> ()
+          | _ -> Alcotest.fail "ping failed");
+          (* cold then warm: the repeat must hit the encoding cache and
+             reuse solver state. *)
+          let req = map_request ~bench:"mac" ~contexts:2 () in
+          let v1 = map_reply client ~id:"1" req in
+          let v2 = map_reply client ~id:"2" req in
+          Alcotest.(check string) "cold infeasible" "infeasible" v1.Protocol.status;
+          Alcotest.(check bool) "first is cold" false v1.Protocol.provenance.Protocol.cache_hit;
+          Alcotest.(check string) "warm agrees" v1.Protocol.status v2.Protocol.status;
+          Alcotest.(check bool) "second hits cache" true
+            v2.Protocol.provenance.Protocol.cache_hit;
+          Alcotest.(check bool) "second is warm" true
+            v2.Protocol.provenance.Protocol.warm_start;
+          (* Served decisions agree with the one-shot mapper on the full
+             2x2 smoke grid, byte-for-byte on the decision projection. *)
+          List.iter
+            (fun (bench, arch_name, ii) ->
+              let served =
+                map_reply client (map_request ~bench ~arch:arch_name ~contexts:ii ())
+              in
+              let mrrg = Build.elaborate (arch arch_name ~size:2) ~ii in
+              let reference = IM.map ~warm_start:0.0 (benchmark bench) mrrg in
+              let one_shot =
+                Protocol.verdict_of_result ~engine:"sat" ~wall_seconds:0.0
+                  ~provenance:Protocol.cold_provenance reference
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s/ii%d decision bytes" bench arch_name ii)
+                (Jsonl.to_string (Protocol.decision_json one_shot))
+                (Jsonl.to_string (Protocol.decision_json served)))
+            [
+              ("mac", "homo-orth", 1); ("mac", "homo-orth", 2);
+              ("mac", "homo-diag", 1); ("mac", "homo-diag", 2);
+              ("2x2-f", "homo-orth", 1); ("2x2-f", "homo-orth", 2);
+              ("2x2-f", "homo-diag", 1); ("2x2-f", "homo-diag", 2);
+            ];
+          (* A deadline-exceeded request returns a clean timeout verdict
+             and the daemon keeps serving afterwards. *)
+          let hard =
+            map_request ~bench:"exp_6" ~arch:"homo-orth" ~size:4 ~contexts:2 ~limit:0.005 ()
+          in
+          let vt = map_reply client hard in
+          Alcotest.(check string) "deadline yields timeout" "timeout" vt.Protocol.status;
+          let after = map_reply client req in
+          Alcotest.(check string) "daemon survives the timeout" "infeasible"
+            after.Protocol.status;
+          (* stats are sane *)
+          match roundtrip_ok client { Protocol.id = None; payload = Protocol.Stats } with
+          | Protocol.Stats_reply s ->
+              Alcotest.(check bool) "requests counted" true (s.Protocol.requests >= 12);
+              Alcotest.(check bool) "cache hits seen" true (s.Protocol.session_hits >= 1);
+              Alcotest.(check bool) "warm starts seen" true (s.Protocol.warm_starts >= 1);
+              Alcotest.(check bool) "uptime advances" true (s.Protocol.uptime_seconds >= 0.0)
+          | _ -> Alcotest.fail "expected stats");
+      (* graceful shutdown via protocol, checked by with_server *)
+      match Client.one_shot ~socket { Protocol.id = None; payload = Protocol.Shutdown } with
+      | Ok { Protocol.reply = Protocol.Ok_reply; _ } -> ()
+      | Ok _ -> Alcotest.fail "shutdown not acknowledged"
+      | Error e -> Alcotest.failf "shutdown failed: %s" e)
+
+(* Send raw bytes over the socket, bypassing the typed client: garbage
+   and wrong-version lines must get parseable protocol errors, and the
+   connection must stay usable afterwards. *)
+let test_socket_protocol_errors () =
+  with_server (fun socket ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let send line =
+            let payload = Bytes.of_string (line ^ "\n") in
+            ignore (Unix.write fd payload 0 (Bytes.length payload))
+          in
+          let recv_line () =
+            let buf = Buffer.create 256 in
+            let chunk = Bytes.create 1 in
+            let rec go () =
+              match Unix.read fd chunk 0 1 with
+              | 0 -> Alcotest.fail "connection closed early"
+              | _ ->
+                  if Bytes.get chunk 0 = '\n' then Buffer.contents buf
+                  else begin
+                    Buffer.add_char buf (Bytes.get chunk 0);
+                    go ()
+                  end
+            in
+            go ()
+          in
+          let expect_error ~code line =
+            send line;
+            match Protocol.response_of_line (recv_line ()) with
+            | Ok { Protocol.reply = Protocol.Error_reply e; _ } ->
+                Alcotest.(check string) ("error code for " ^ line) code e.code
+            | Ok _ -> Alcotest.failf "no error for %S" line
+            | Error e -> Alcotest.failf "unparseable error reply: %s" e
+          in
+          expect_error ~code:"protocol" "this is not json";
+          expect_error ~code:"protocol" {|{"v":2,"op":"ping"}|};
+          expect_error ~code:"bad_request"
+            {|{"v":1,"op":"map","benchmark":"no-such-kernel","size":2}|};
+          (* Same connection still answers properly framed requests. *)
+          send {|{"v":1,"op":"ping","id":"after"}|};
+          match Protocol.response_of_line (recv_line ()) with
+          | Ok { Protocol.r_id = Some "after"; reply = Protocol.Ok_reply } -> ()
+          | Ok _ -> Alcotest.fail "ping after errors failed"
+          | Error e -> Alcotest.failf "unparseable ping reply: %s" e);
+      match Client.one_shot ~socket { Protocol.id = None; payload = Protocol.Shutdown } with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "shutdown failed: %s" e)
+
+let suites =
+  [
+    ( "serve-protocol",
+      [
+        Alcotest.test_case "request roundtrip" `Quick test_protocol_request_roundtrip;
+        Alcotest.test_case "inline dfg/adl texts" `Quick test_protocol_inline_texts;
+        Alcotest.test_case "version mismatch refused" `Quick test_protocol_version_mismatch;
+        Alcotest.test_case "malformed requests refused" `Quick test_protocol_malformed;
+        Alcotest.test_case "response roundtrip" `Quick test_protocol_response_roundtrip;
+        Alcotest.test_case "decision projection is timing-blind" `Quick
+          test_protocol_decision_projection;
+      ] );
+    ( "serve-cache",
+      [
+        Alcotest.test_case "LRU eviction order and counters" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "capacity 0 bypasses residency" `Quick
+          test_cache_capacity_zero_bypass;
+        Alcotest.test_case "builder exception caches nothing" `Quick
+          test_cache_builder_exception_caches_nothing;
+      ] );
+    ( "serve-session",
+      [
+        Alcotest.test_case "incremental II search in one solver" `Slow
+          test_session_incremental_ii;
+        Alcotest.test_case "repeated infeasible query stays warm" `Slow
+          test_session_repeat_infeasible;
+        QCheck_alcotest.to_alcotest prop_session_agrees_with_oneshot;
+      ] );
+    ( "serve-engine",
+      [
+        Alcotest.test_case "distinct arch digests, distinct sessions" `Slow
+          test_engine_distinct_arch_digests;
+        Alcotest.test_case "bad requests are refused" `Quick test_engine_bad_requests;
+        Alcotest.test_case "concurrent mixed-key requests" `Slow
+          test_engine_concurrent_mixed_keys;
+      ] );
+    ( "serve-socket",
+      [
+        Alcotest.test_case "end-to-end: warm cache, grid agreement, deadline, shutdown" `Slow
+          test_socket_end_to_end;
+        Alcotest.test_case "protocol errors answered, connection survives" `Slow
+          test_socket_protocol_errors;
+      ] );
+  ]

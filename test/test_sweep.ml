@@ -5,6 +5,7 @@ module Store = Cgra_sweep.Store
 module Runner = Cgra_sweep.Runner
 module Portfolio = Cgra_sweep.Portfolio
 module Scheduler = Cgra_sweep.Scheduler
+module Pool = Cgra_sweep.Pool
 module Grid = Cgra_sweep.Grid
 module Deadline = Cgra_util.Deadline
 
@@ -151,6 +152,81 @@ let test_store_roundtrip () =
 let test_store_missing_file () =
   Alcotest.(check int) "missing journal is empty" 0
     (List.length (Store.load "/nonexistent/journal.jsonl"))
+
+(* Multi-writer safety: each record goes down in a single O_APPEND
+   write, so several store handles — domains here, but equally separate
+   processes — can append to one journal without tearing lines. *)
+let test_store_concurrent_writers () =
+  let path = temp_journal () in
+  let writers = 4 and per_writer = 50 in
+  let write_batch w () =
+    (* Each writer opens its own handle, as separate processes would. *)
+    let store = Store.append_to path in
+    for i = 1 to per_writer do
+      Store.append store (Record.error (job ()) (Printf.sprintf "w%d-%d" w i))
+    done;
+    Store.close store
+  in
+  let domains = List.init writers (fun w -> Domain.spawn (write_batch w)) in
+  List.iter Domain.join domains;
+  let loaded = Store.load path in
+  Alcotest.(check int) "every line intact" (writers * per_writer) (List.length loaded);
+  (* No interleaving corrupted a message: every (writer, i) pair is
+     present exactly once. *)
+  let messages =
+    List.filter_map
+      (fun (r : Record.t) ->
+        match r.Record.status with Record.Error m -> Some m | _ -> None)
+      loaded
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all messages distinct and complete" (writers * per_writer)
+    (List.length messages);
+  Sys.remove path
+
+(* ---------------- Pool ---------------- *)
+
+(* A resident pool survives across sweeps (the daemon's usage): two
+   consecutive runs on one pool must both complete with the same
+   answers as fresh-domain runs, and the pool must still drain. *)
+let test_scheduler_reuses_pool () =
+  let pool = Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let reference, _ = Scheduler.run ~jobs:2 fast_jobs in
+      let r1, s1 = Scheduler.run ~jobs:2 ~pool fast_jobs in
+      let r2, s2 = Scheduler.run ~jobs:2 ~pool fast_jobs in
+      Alcotest.(check int) "first pooled sweep ran all" (List.length fast_jobs) s1.Scheduler.ran;
+      Alcotest.(check int) "second pooled sweep ran all" (List.length fast_jobs) s2.Scheduler.ran;
+      Alcotest.(check (list string)) "pooled run agrees" (statuses reference) (statuses r1);
+      Alcotest.(check (list string)) "pool is reusable" (statuses reference) (statuses r2);
+      (* The scheduler returns when every job's result is in; the worker
+         that ran the last task may not have cleared its active flag yet,
+         so synchronise with the pool before asserting idleness. *)
+      Pool.drain pool;
+      Alcotest.(check int) "pool idle after sweeps" 0 (Pool.pending pool + Pool.active pool))
+
+let test_pool_bounded_queue () =
+  let pool = Pool.create ~queue_capacity:2 ~workers:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  (* Block the single worker, then fill the queue. *)
+  let accepted_blocking = Pool.submit pool (fun () -> Mutex.lock gate; Mutex.unlock gate) in
+  Alcotest.(check bool) "worker task accepted" true accepted_blocking;
+  (* Give the worker a moment to claim the blocking task. *)
+  let rec await tries =
+    if tries > 0 && Pool.active pool = 0 then begin Unix.sleepf 0.01; await (tries - 1) end
+  in
+  await 100;
+  let a = Pool.submit pool (fun () -> ()) in
+  let b = Pool.submit pool (fun () -> ()) in
+  let overflow = Pool.submit pool (fun () -> ()) in
+  Alcotest.(check bool) "queue accepts up to capacity" true (a && b);
+  Alcotest.(check bool) "overflow refused" false overflow;
+  Mutex.unlock gate;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "submit after shutdown refused" false (Pool.submit pool (fun () -> ()))
 
 (* ---------------- Scheduler ---------------- *)
 
@@ -425,6 +501,9 @@ let suites =
         Alcotest.test_case "error record roundtrip" `Quick test_record_error_roundtrip;
         Alcotest.test_case "store append/load" `Quick test_store_roundtrip;
         Alcotest.test_case "store missing file" `Quick test_store_missing_file;
+        Alcotest.test_case "store concurrent writers" `Quick test_store_concurrent_writers;
+        Alcotest.test_case "scheduler reuses a resident pool" `Slow test_scheduler_reuses_pool;
+        Alcotest.test_case "pool bounds its queue" `Quick test_pool_bounded_queue;
         Alcotest.test_case "scheduler deterministic across --jobs" `Slow test_scheduler_deterministic;
         Alcotest.test_case "scheduler records errors, sweep survives" `Slow test_scheduler_error_capture;
         Alcotest.test_case "resume skips journaled jobs" `Slow test_scheduler_resume;
