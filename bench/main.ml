@@ -6,8 +6,14 @@
      fig8              SA mapper vs ILP mapper (paper Figure 8); journaled,
                        resumable, exits 1 if SA ever beats the exact mapper
      sizes             formulation sizes per cell (diagnostics)
-     sweep             parallel sweep engine scaling (--jobs 1/2/4)
-     certify           DRAT certification overhead (proof logging on vs off)
+     sweep             parallel sweep engine scaling (--jobs 1/2/4); appends
+                       a run record to BENCH_sweep.json
+     certify           DRAT certification overhead (proof logging on vs off);
+                       appends a run record to BENCH_certify.json
+     inprocess         SAT inprocessing A/B on hard Table 2 cells (all passes
+                       on vs all off); appends a run record to
+                       BENCH_inprocess.json and exits 1 if the geomean
+                       speedup falls below 1.3x
      explain           unsat-core extraction overhead on infeasible cells
      crosscheck        native engine vs an external MILP backend on a small
                        grid (skipped with a message when the solver binary
@@ -38,6 +44,34 @@ module IM = Cgra_core.Ilp_mapper
 module Anneal = Cgra_core.Anneal
 module Formulation = Cgra_core.Formulation
 module Deadline = Cgra_util.Deadline
+
+module Jsonl = Cgra_sweep.Jsonl
+
+(* Append a run record to BENCH_<name>.json, preserving earlier runs so
+   each journal accumulates a history across commits — the same schema
+   for every journaled subcommand: {"bench": name, "runs": [...]}. *)
+let record_bench_run ~name fields =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Jsonl.of_string text with
+      | Ok json -> (
+          match Jsonl.member "runs" json with Some (Jsonl.List runs) -> runs | _ -> [])
+      | Error _ -> []
+    end
+    else []
+  in
+  let doc =
+    Jsonl.Obj [ ("bench", Jsonl.Str name); ("runs", Jsonl.List (previous @ [ fields ])) ]
+  in
+  let oc = open_out path in
+  output_string oc (Jsonl.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  recorded run %d in %s\n" (List.length previous + 1) path
 
 type options = {
   limit : float;
@@ -350,18 +384,35 @@ let run_sweep_scaling opts =
   Printf.printf "%d jobs; host has %d cores\n%!" (List.length jobs)
     (Domain.recommended_domain_count ());
   let baseline = ref 0.0 in
-  List.iter
-    (fun n ->
-      let records, stats = Scheduler.run ~jobs:n jobs in
-      let undecided =
-        List.length (List.filter (fun r -> not (Cgra_sweep.Record.definitive r)) records)
-      in
-      if n = 1 then baseline := stats.Scheduler.wall_seconds;
-      Printf.printf "  --jobs %d: %6.1fs wall  (speedup %.2fx, %d undecided)\n%!" n
-        stats.Scheduler.wall_seconds
-        (!baseline /. stats.Scheduler.wall_seconds)
-        undecided)
-    [ 1; 2; 4 ];
+  let rows =
+    List.map
+      (fun n ->
+        let records, stats = Scheduler.run ~jobs:n jobs in
+        let undecided =
+          List.length (List.filter (fun r -> not (Cgra_sweep.Record.definitive r)) records)
+        in
+        if n = 1 then baseline := stats.Scheduler.wall_seconds;
+        let speedup = !baseline /. stats.Scheduler.wall_seconds in
+        Printf.printf "  --jobs %d: %6.1fs wall  (speedup %.2fx, %d undecided)\n%!" n
+          stats.Scheduler.wall_seconds speedup undecided;
+        Jsonl.Obj
+          [
+            ("workers", Jsonl.Num (float_of_int n));
+            ("wall_seconds", Jsonl.Num stats.Scheduler.wall_seconds);
+            ("speedup", Jsonl.Num speedup);
+            ("undecided", Jsonl.Num (float_of_int undecided));
+          ])
+      [ 1; 2; 4 ]
+  in
+  record_bench_run ~name:"sweep"
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("size", Jsonl.Num (float_of_int opts.size));
+         ("limit", Jsonl.Num opts.limit);
+         ("n_jobs", Jsonl.Num (float_of_int (List.length jobs)));
+         ("scaling", Jsonl.List rows);
+       ]);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -384,34 +435,169 @@ let run_certify opts =
   in
   Printf.printf "  %-10s %-4s %10s %10s %9s %12s\n" "benchmark" "ii" "plain" "certified"
     "overhead" "proof steps";
-  List.iter
-    (fun (bench, ii) ->
-      match Benchmarks.by_name bench with
-      | None -> Printf.printf "  %-10s unknown benchmark\n" bench
-      | Some dfg ->
-          let mrrg = Build.elaborate arch ~ii in
-          let once certify =
-            IM.map ~deadline:(Deadline.after ~seconds:opts.limit) ~warm_start:0.0 ~certify dfg
-              mrrg
-          in
-          let time certify =
-            let t0 = Deadline.now () in
-            for _ = 1 to reps do
-              ignore (once certify)
-            done;
-            Deadline.elapsed_of ~start:t0 /. float_of_int reps
-          in
-          let plain = time false in
-          let certified = time true in
-          let steps =
-            match once true with
-            | IM.Infeasible info | IM.Timeout info -> info.IM.proof_steps
-            | IM.Mapped (_, info) -> info.IM.proof_steps
-          in
-          Printf.printf "  %-10s ii%-3d %9.3fs %9.3fs %8.2fx %12d\n%!" bench ii plain certified
-            (if plain > 0.0 then certified /. plain else 0.0)
-            steps)
-    [ ("mac", 1); ("2x2-f", 1); ("mac", 2); ("2x2-f", 2) ];
+  let rows =
+    List.filter_map
+      (fun (bench, ii) ->
+        match Benchmarks.by_name bench with
+        | None ->
+            Printf.printf "  %-10s unknown benchmark\n" bench;
+            None
+        | Some dfg ->
+            let mrrg = Build.elaborate arch ~ii in
+            let once certify =
+              IM.map ~deadline:(Deadline.after ~seconds:opts.limit) ~warm_start:0.0 ~certify dfg
+                mrrg
+            in
+            let time certify =
+              let t0 = Deadline.now () in
+              for _ = 1 to reps do
+                ignore (once certify)
+              done;
+              Deadline.elapsed_of ~start:t0 /. float_of_int reps
+            in
+            let plain = time false in
+            let certified = time true in
+            let steps =
+              match once true with
+              | IM.Infeasible info | IM.Timeout info -> info.IM.proof_steps
+              | IM.Mapped (_, info) -> info.IM.proof_steps
+            in
+            let overhead = if plain > 0.0 then certified /. plain else 0.0 in
+            Printf.printf "  %-10s ii%-3d %9.3fs %9.3fs %8.2fx %12d\n%!" bench ii plain
+              certified overhead steps;
+            Some
+              (Jsonl.Obj
+                 [
+                   ("benchmark", Jsonl.Str bench);
+                   ("contexts", Jsonl.Num (float_of_int ii));
+                   ("plain_seconds", Jsonl.Num plain);
+                   ("certified_seconds", Jsonl.Num certified);
+                   ("overhead", Jsonl.Num overhead);
+                   ("proof_steps", Jsonl.Num (float_of_int steps));
+                 ]))
+      [ ("mac", 1); ("2x2-f", 1); ("mac", 2); ("2x2-f", 2) ]
+  in
+  record_bench_run ~name:"certify"
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("size", Jsonl.Num 2.0);
+         ("reps", Jsonl.Num (float_of_int reps));
+         ("cells", Jsonl.List rows);
+       ]);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Inprocessing A/B: every pass on vs everything off                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Hard Table 2 cells — the ones whose verdicts need real CDCL search
+   rather than presolve or a lucky first descent — solved twice through
+   the exact engine: once with the full inprocessing schedule
+   (substitute, probe, subsume, varelim) and once with the hook
+   disabled.  Both sides share the formulation; each rep re-encodes, so
+   the comparison covers the whole SAT path.  The gate asserts the
+   geomean speedup: inprocessing must pay for itself on the hot path,
+   not merely break even. *)
+let inprocess_gate = 1.3
+
+let run_inprocess opts =
+  let module Solve = Cgra_ilp.Solve in
+  let module Inprocess = Cgra_satoca.Inprocess in
+  let reps = 3 in
+  Printf.printf "== Inprocessing A/B: all passes vs none (%d reps, limit %.0fs) ==\n" reps
+    opts.limit;
+  let cells =
+    [
+      ("mult_10", "homo-orth", 2, 1); ("mult_10", "homo-diag", 2, 1);
+      ("mult_14", "homo-orth", 2, 1); ("cos_4", "homo-orth", 2, 2);
+      ("tay_4", "homo-orth", 2, 2); ("weighted_sum", "homo-orth", 2, 2);
+    ]
+  in
+  Printf.printf "  %-26s %-6s %10s %10s %9s\n" "cell" "status" "off" "on" "speedup";
+  let ratios = ref [] in
+  let rows =
+    List.filter_map
+      (fun (bench, arch_name, size, ii) ->
+        match (Benchmarks.by_name bench, Lib.find_config ~size arch_name) with
+        | None, _ | _, None ->
+            Printf.printf "  %-26s unknown cell — skipped\n" bench;
+            None
+        | Some dfg, Some config ->
+            let mrrg = Build.elaborate (Lib.make config) ~ii in
+            let f = Formulation.build ~objective:Formulation.Feasibility dfg mrrg in
+            let solve_once inprocess =
+              Solve.solve_report
+                ~deadline:(Deadline.after ~seconds:opts.limit)
+                ~inprocess f.Formulation.model
+            in
+            let time inprocess =
+              let t0 = Deadline.now () in
+              let last = ref None in
+              for _ = 1 to reps do
+                last := Some (solve_once inprocess)
+              done;
+              (Deadline.elapsed_of ~start:t0 /. float_of_int reps, Option.get !last)
+            in
+            let off_seconds, off_report = time Inprocess.all_off in
+            let on_seconds, on_report = time Inprocess.all_on in
+            let status = function
+              | Solve.Optimal _ | Solve.Feasible _ -> "sat"
+              | Solve.Infeasible -> "unsat"
+              | Solve.Timeout -> "TO"
+            in
+            if status off_report.Solve.outcome <> status on_report.Solve.outcome then begin
+              Printf.eprintf
+                "inprocess: %s/%s/ii%d verdict flipped with inprocessing (%s vs %s)\n%!" bench
+                arch_name ii
+                (status off_report.Solve.outcome)
+                (status on_report.Solve.outcome);
+              exit 3
+            end;
+            let speedup = if on_seconds > 0.0 then off_seconds /. on_seconds else 1.0 in
+            ratios := speedup :: !ratios;
+            Printf.printf "  %-26s %-6s %9.3fs %9.3fs %8.2fx\n%!"
+              (Printf.sprintf "%s/%s/ii%d" bench arch_name ii)
+              (status on_report.Solve.outcome)
+              off_seconds on_seconds speedup;
+            Some
+              (Jsonl.Obj
+                 ([
+                    ("benchmark", Jsonl.Str bench);
+                    ("arch", Jsonl.Str arch_name);
+                    ("size", Jsonl.Num (float_of_int size));
+                    ("contexts", Jsonl.Num (float_of_int ii));
+                    ("status", Jsonl.Str (status on_report.Solve.outcome));
+                    ("off_seconds", Jsonl.Num off_seconds);
+                    ("on_seconds", Jsonl.Num on_seconds);
+                    ("speedup", Jsonl.Num speedup);
+                  ]
+                 @ List.map
+                     (fun (k, n) -> (k, Jsonl.Num (float_of_int n)))
+                     on_report.Solve.inprocess)))
+      cells
+  in
+  let geomean =
+    match !ratios with
+    | [] -> 1.0
+    | rs ->
+        exp (List.fold_left (fun acc r -> acc +. log r) 0.0 rs /. float_of_int (List.length rs))
+  in
+  Printf.printf "  geomean speedup: %.2fx (gate %.1fx)\n%!" geomean inprocess_gate;
+  record_bench_run ~name:"inprocess"
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("reps", Jsonl.Num (float_of_int reps));
+         ("gate", Jsonl.Num inprocess_gate);
+         ("geomean_speedup", Jsonl.Num geomean);
+         ("cells", Jsonl.List rows);
+       ]);
+  if geomean < inprocess_gate then begin
+    Printf.eprintf "inprocess: geomean speedup %.2fx below the %.1fx gate\n%!" geomean
+      inprocess_gate;
+    exit 1
+  end;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -577,7 +763,6 @@ let run_micro () =
 (* serve: daemon latency, cold vs warm                                 *)
 (* ------------------------------------------------------------------ *)
 
-module Jsonl = Cgra_sweep.Jsonl
 module Serve_protocol = Cgra_serve.Protocol
 module Serve_server = Cgra_serve.Server
 module Serve_client = Cgra_serve.Client
@@ -588,31 +773,6 @@ let percentile sorted p =
   | n ->
       let idx = int_of_float (Float.of_int (n - 1) *. p) in
       sorted.(max 0 (min (n - 1) idx))
-
-(* Append a run record to BENCH_serve.json, preserving earlier runs so
-   the file accumulates a latency history across commits. *)
-let record_serve_run fields =
-  let path = "BENCH_serve.json" in
-  let previous =
-    if Sys.file_exists path then begin
-      let ic = open_in path in
-      let text = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      match Jsonl.of_string text with
-      | Ok json -> (
-          match Jsonl.member "runs" json with Some (Jsonl.List runs) -> runs | _ -> [])
-      | Error _ -> []
-    end
-    else []
-  in
-  let doc =
-    Jsonl.Obj [ ("bench", Jsonl.Str "serve"); ("runs", Jsonl.List (previous @ [ fields ])) ]
-  in
-  let oc = open_out path in
-  output_string oc (Jsonl.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "  recorded run %d in %s\n" (List.length previous + 1) path
 
 let run_serve opts =
   Printf.printf "== serve: daemon latency, cold vs warm (size %d) ==\n%!" opts.size;
@@ -701,7 +861,7 @@ let run_serve opts =
   Printf.printf "  session cache hits:  %d/%d (rate %.2f)\n" stats.Serve_protocol.session_hits
     (stats.Serve_protocol.session_hits + stats.Serve_protocol.session_misses)
     hit_rate;
-  record_serve_run
+  record_bench_run ~name:"serve"
     (Jsonl.Obj
        [
          ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
@@ -774,6 +934,7 @@ let () =
       | "ablation" -> run_ablation opts
       | "sweep" -> run_sweep_scaling opts
       | "certify" -> run_certify opts
+      | "inprocess" -> run_inprocess opts
       | "explain" -> run_explain opts
       | "crosscheck" -> run_crosscheck opts
       | "serve" -> run_serve opts

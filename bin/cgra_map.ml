@@ -155,12 +155,19 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 (* The one-shot CLI and the daemon share the wire record; a one-shot
-   answer always reports cold provenance. *)
+   answer reports cold provenance, with this run's inprocessing
+   counters as its whole-run share. *)
 let print_verdict_json ~engine ~t0 result =
+  let info =
+    match result with IM.Mapped (_, i) | IM.Infeasible i | IM.Timeout i -> i
+  in
+  let provenance =
+    { Serve_protocol.cold_provenance with Serve_protocol.inprocess = info.IM.inprocess }
+  in
   let v =
     Serve_protocol.verdict_of_result ~engine
       ~wall_seconds:(Deadline.elapsed_of ~start:t0)
-      ~provenance:Serve_protocol.cold_provenance result
+      ~provenance result
   in
   print_endline (Jsonl.to_string (Serve_protocol.verdict_to_json v))
 

@@ -26,6 +26,7 @@ type info = {
   presolve_fixed : int;
   certified : bool;
   proof_steps : int;
+  inprocess : (string * int) list;
   diagnosis : diagnosis option;
 }
 
@@ -129,6 +130,7 @@ let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulatio
       presolve_fixed = 0;
       certified;
       proof_steps = 0;
+      inprocess = [];
       diagnosis;
     }
   in
@@ -172,7 +174,7 @@ let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulatio
       Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true ())
 
 let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cancel ?prune
-    ?(warm_start = 5.0) ?(certify = false) ?(explain = false) dfg mrrg =
+    ?(warm_start = 5.0) ?(certify = false) ?(explain = false) ?inprocess dfg mrrg =
   let engine, external_backend =
     match backend with
     | None -> (engine, None)
@@ -212,7 +214,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
   | Some b -> solve_external ?deadline ~objective ~explain b f ~build_seconds
   | None ->
   let proof = if certify then Some (Proof.create ()) else None in
-  let report = Solve.solve_report ?deadline ?engine ?proof f.Formulation.model in
+  let report = Solve.solve_report ?deadline ?engine ?proof ?inprocess f.Formulation.model in
   let proof_steps = match proof with Some p -> Proof.n_steps p | None -> 0 in
   let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
     {
@@ -225,6 +227,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
       presolve_fixed = report.Solve.presolve_fixed;
       certified;
       proof_steps;
+      inprocess = report.Solve.inprocess;
       diagnosis;
     }
   in

@@ -42,6 +42,12 @@ type info = {
           refutation for a certified [Infeasible]; always [false] for
           [Timeout] and for uncertified [Infeasible] runs *)
   proof_steps : int;             (** DRAT derivation steps logged; 0 unless certifying *)
+  inprocess : (string * int) list;
+      (** per-pass SAT inprocessing counters ([subsumed],
+          [strengthened], [eliminated], [probed_failed], [substituted])
+          of the solver behind the verdict; empty when no in-process
+          SAT solver ran (external backends, pure B&B feasible
+          answers) *)
   diagnosis : diagnosis option;
       (** present only for an [Infeasible] verdict under [~explain:true]
           whose core extraction finished before the deadline *)
@@ -62,6 +68,7 @@ val map :
   ?warm_start:float ->
   ?certify:bool ->
   ?explain:bool ->
+  ?inprocess:Cgra_satoca.Inprocess.config ->
   Dfg.t ->
   Mrrg.t ->
   result

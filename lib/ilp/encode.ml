@@ -1,6 +1,7 @@
 module Solver = Cgra_satoca.Solver
 module Lit = Cgra_satoca.Lit
 module Card = Cgra_satoca.Card
+module Inprocess = Cgra_satoca.Inprocess
 
 type t = {
   solver : Solver.t;
@@ -75,9 +76,10 @@ let seed_block_phases solver ~base model =
     Solver.seed_phases solver
       (List.init (Model.nvars model) (fun v -> Lit.make (base + v) (Model.branch_phase model v)))
 
-let encode ?proof model =
+let encode ?proof ?inprocess model =
   let solver = Solver.create () in
   (match proof with Some _ -> Solver.set_proof solver proof | None -> ());
+  Inprocess.install ?config:inprocess solver;
   ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
   encode_block solver ~base:0 model;
   seed_block_phases solver ~base:0 model;
@@ -131,6 +133,7 @@ type grouped = { g_solver : Solver.t; selectors : (string * Lit.t) list }
 
 let encode_grouped model =
   let solver = Solver.create () in
+  Inprocess.install solver;
   ignore (if Model.nvars model > 0 then Solver.new_vars solver (Model.nvars model) else 0);
   for v = 0 to Model.nvars model - 1 do
     let p = Model.branch_priority model v in

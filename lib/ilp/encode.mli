@@ -14,12 +14,22 @@ type t = {
   objective_offset : int;
 }
 
-val encode : ?proof:Cgra_satoca.Proof.t -> Model.t -> t
+val encode :
+  ?proof:Cgra_satoca.Proof.t ->
+  ?inprocess:Cgra_satoca.Inprocess.config ->
+  Model.t ->
+  t
 (** Build a solver containing the full model.  If a row is trivially
     unsatisfiable the solver is already in the [not ok] state.  When
     [proof] is given it is attached before any clause is added, so the
     trace's input set is exactly the clausified model (plus any bound
-    clauses added later by the descent loop). *)
+    clauses added later by the descent loop).
+
+    The solver gets the {!Cgra_satoca.Inprocess} scheduler installed;
+    [inprocess] overrides its configuration (default:
+    {!Cgra_satoca.Inprocess.default}[ ()], i.e. all passes on unless
+    the [CGRA_INPROCESS] environment variable says otherwise).
+    Inprocessing is DRAT-transparent, so it composes with [proof]. *)
 
 val assignment : t -> Model.t -> bool array
 (** Read back the model-variable assignment after a [Sat] answer. *)

@@ -15,6 +15,7 @@ type report = {
   solve_seconds : float;
   sat_calls : int;
   presolve_fixed : int;
+  inprocess : (string * int) list;
 }
 
 let pp_outcome fmt = function
@@ -25,16 +26,20 @@ let pp_outcome fmt = function
 
 (* ---------------- SAT-backed engine ---------------- *)
 
-let solve_sat ?proof ~deadline model sat_calls =
-  let enc = Encode.encode ?proof model in
+let solve_sat ?proof ?inprocess ~deadline model sat_calls sat_stats =
+  let enc = Encode.encode ?proof ?inprocess model in
   let solver = enc.Encode.solver in
+  let finish outcome =
+    sat_stats := Some (Solver.stats solver);
+    outcome
+  in
   incr sat_calls;
   match Solver.solve ~deadline solver with
-  | Solver.Unsat -> Infeasible
-  | Solver.Unknown -> Timeout
+  | Solver.Unsat -> finish Infeasible
+  | Solver.Unknown -> finish Timeout
   | Solver.Sat -> (
       match Model.objective model with
-      | Model.Feasibility -> Optimal (Encode.assignment enc model, 0)
+      | Model.Feasibility -> finish (Optimal (Encode.assignment enc model, 0))
       | Model.Minimize _ ->
           (* Solution-improving descent: bound the weighted objective
              literals below the incumbent and re-solve until UNSAT. *)
@@ -46,7 +51,9 @@ let solve_sat ?proof ~deadline model sat_calls =
             Model.objective_value model (fun v -> assign.(v)) - enc.Encode.objective_offset
           in
           let best = ref (norm_value !best_assign) in
-          if units = [] then Optimal (!best_assign, Model.objective_value model (fun v -> !best_assign.(v)))
+          if units = [] then
+            finish
+              (Optimal (!best_assign, Model.objective_value model (fun v -> !best_assign.(v))))
           else begin
             let tot = Card.Totalizer.build solver units in
             (* Each descent step enforces the strictly tighter bound as
@@ -88,7 +95,7 @@ let solve_sat ?proof ~deadline model sat_calls =
                       Some (Feasible (!best_assign, !best + enc.Encode.objective_offset))
               end
             done;
-            match !result with Some r -> r | None -> assert false
+            match !result with Some r -> finish r | None -> assert false
           end)
 
 (* ---------------- brute force ---------------- *)
@@ -133,10 +140,12 @@ let lift_outcome ~original p outcome =
    so an [Infeasible] answer is cross-certified: a proof-logging SAT
    refutation of the *original* model (no presolve) is produced, and a
    disagreement between the engines is a bug worth crashing on. *)
-let cross_certify ~deadline ~proof model sat_calls =
-  let enc = Encode.encode ~proof model in
+let cross_certify ~deadline ~proof ?inprocess model sat_calls sat_stats =
+  let enc = Encode.encode ~proof ?inprocess model in
   incr sat_calls;
-  match Solver.solve ~deadline enc.Encode.solver with
+  let r = Solver.solve ~deadline enc.Encode.solver in
+  sat_stats := Some (Solver.stats enc.Encode.solver);
+  match r with
   | Solver.Unsat -> ()
   | Solver.Sat ->
       failwith
@@ -145,13 +154,15 @@ let cross_certify ~deadline ~proof model sat_calls =
   | Solver.Unknown -> () (* deadline expired: the certificate stays incomplete *)
 
 let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve = true) ?proof
-    model =
+    ?inprocess model =
   let start = Deadline.now () in
   let sat_calls = ref 0 in
   let presolve_fixed = ref 0 in
+  let sat_stats = ref None in
   let certify_infeasible outcome =
     (match (outcome, proof) with
-    | Infeasible, Some proof -> cross_certify ~deadline ~proof model sat_calls
+    | Infeasible, Some proof ->
+        cross_certify ~deadline ~proof ?inprocess model sat_calls sat_stats
     | _ -> ());
     outcome
   in
@@ -164,7 +175,8 @@ let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve =
         let presolve = presolve && proof = None in
         with_presolve ~presolve model (fun reduced p ->
             (match p with Some p -> presolve_fixed := Presolve.n_fixed p | None -> ());
-            lift_outcome ~original:model p (solve_sat ?proof ~deadline reduced sat_calls))
+            lift_outcome ~original:model p
+              (solve_sat ?proof ?inprocess ~deadline reduced sat_calls sat_stats))
     | Branch_and_bound ->
         certify_infeasible
           (with_presolve ~presolve model (fun reduced p ->
@@ -183,7 +195,11 @@ let solve_report ?(deadline = Deadline.none) ?(engine = Sat_backed) ?(presolve =
     solve_seconds = Deadline.elapsed_of ~start;
     sat_calls = !sat_calls;
     presolve_fixed = !presolve_fixed;
+    inprocess =
+      (match !sat_stats with
+      | Some st -> Solver.inprocess_counters st
+      | None -> []);
   }
 
-let solve ?deadline ?engine ?presolve ?proof model =
-  (solve_report ?deadline ?engine ?presolve ?proof model).outcome
+let solve ?deadline ?engine ?presolve ?proof ?inprocess model =
+  (solve_report ?deadline ?engine ?presolve ?proof ?inprocess model).outcome

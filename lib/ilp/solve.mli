@@ -31,6 +31,11 @@ type report = {
   solve_seconds : float;
   sat_calls : int;       (** SAT invocations (descent steps); 0 for other engines *)
   presolve_fixed : int;  (** variables eliminated by presolve *)
+  inprocess : (string * int) list;
+      (** per-pass inprocessing counters of the SAT solver that
+          produced (or certified) the verdict — see
+          {!Cgra_satoca.Solver.inprocess_counters}; empty when no SAT
+          solver ran *)
 }
 
 val solve :
@@ -38,6 +43,7 @@ val solve :
   ?engine:engine ->
   ?presolve:bool ->
   ?proof:Cgra_satoca.Proof.t ->
+  ?inprocess:Cgra_satoca.Inprocess.config ->
   Model.t ->
   outcome
 (** Solve the model.  [presolve] defaults to [true] (ignored by
@@ -60,8 +66,12 @@ val solve_report :
   ?engine:engine ->
   ?presolve:bool ->
   ?proof:Cgra_satoca.Proof.t ->
+  ?inprocess:Cgra_satoca.Inprocess.config ->
   Model.t ->
   report
-(** Like {!solve} with timing and search statistics. *)
+(** Like {!solve} with timing and search statistics.  [inprocess]
+    overrides the SAT solver's inprocessing configuration (see
+    {!Encode.encode}); the benchmark harness uses it for on/off A-B
+    runs. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -115,7 +115,13 @@ module Totalizer = struct
         let left, right = split (n / 2) [] lits in
         merge solver (tree solver left) (tree solver right)
 
-  let build solver lits = { solver; outputs = tree solver lits; bound = max_int }
+  let build solver lits =
+    let outputs = tree solver lits in
+    (* outputs are interface literals: later bound assertions and
+       assumption framing address them directly, so inprocessing must
+       never eliminate them *)
+    Array.iter (fun l -> Solver.set_frozen solver (Lit.var l) true) outputs;
+    { solver; outputs; bound = max_int }
 
   let outputs t = t.outputs
 

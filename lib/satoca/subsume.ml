@@ -1,0 +1,123 @@
+(* Forward/backward subsumption and self-subsuming resolution.
+
+   SatELite-style: every live clause gets a sorted literal copy and a
+   64-bit signature (a Bloom filter of its literals); an occurrence
+   index maps each literal to the clauses holding it.  For a clause D:
+
+   - backward subsumption: any clause C with D <= C is deleted — D
+     alone already enforces it (a model of D is a model of C);
+   - self-subsuming resolution: if D\{p} <= C\{~p} then resolving C
+     with D on p yields C\{~p}, which subsumes C — so C is strengthened
+     by removing ~p.  The strengthened clause is RUP while D is in the
+     database, which is exactly when it is logged.
+
+   The budget counts candidate subset tests; signatures and length
+   checks make rejected candidates nearly free.  Clause arrays may be
+   permuted by watch moves during the pass (strengthening can
+   propagate), but never change as multisets, so the sorted copies
+   taken up front stay valid. *)
+
+type entry = {
+  ci : int;
+  sorted : int array;
+  signature : int64;
+  mutable alive : bool;
+}
+
+let signature_of arr =
+  Array.fold_left
+    (fun s l -> Int64.logor s (Int64.shift_left 1L (l land 63)))
+    0L arr
+
+let sig_subset a b = Int64.equal (Int64.logand a (Int64.lognot b)) 0L
+
+(* sorted-array subset test, optionally ignoring one literal on each
+   side: subset (D minus skip_a) (C minus skip_b) *)
+let subset_except a ~skip_a b ~skip_b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if a.(i) = skip_a then go (i + 1) j
+    else if j >= lb then false
+    else if b.(j) = skip_b then go i (j + 1)
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let run solver ~budget =
+  let n = Solver.n_clause_slots solver in
+  let nlits = 2 * Solver.nvars solver in
+  let entries = ref [] in
+  let occ = Array.make (max 1 nlits) [] in
+  for ci = n - 1 downto 0 do
+    let arr = Solver.clause_view solver ci in
+    if Array.length arr >= 2 then begin
+      let sorted = Array.copy arr in
+      Array.sort compare sorted;
+      let e = { ci; sorted; signature = signature_of sorted; alive = true } in
+      entries := e :: !entries;
+      Array.iter (fun l -> occ.(l) <- e :: occ.(l)) sorted
+    end
+  done;
+  let budget = ref budget in
+  let check e =
+    if e.alive && !budget > 0 then begin
+      let d = e.sorted in
+      (* backward subsumption: scan the shortest occurrence list of D's
+         literals for superset clauses *)
+      let best = ref d.(0) in
+      Array.iter
+        (fun l -> if List.length occ.(l) < List.length occ.(!best) then best := l)
+        d;
+      List.iter
+        (fun c ->
+          if
+            !budget > 0 && c.alive && c.ci <> e.ci
+            && Array.length c.sorted >= Array.length d
+            && sig_subset e.signature c.signature
+          then begin
+            decr budget;
+            if subset_except d ~skip_a:min_int c.sorted ~skip_b:min_int then begin
+              Solver.simp_delete solver c.ci;
+              Solver.note_subsumed solver;
+              c.alive <- false
+            end
+          end)
+        occ.(!best);
+      (* self-subsuming resolution: for each p in D, any C with ~p whose
+         remainder is a superset of D\{p} loses ~p *)
+      Array.iter
+        (fun p ->
+          let np = Lit.negate p in
+          if np < nlits then
+            List.iter
+              (fun c ->
+                if
+                  !budget > 0 && e.alive && c.alive && c.ci <> e.ci
+                  && Array.length c.sorted >= Array.length d
+                  && sig_subset
+                       (Int64.logand e.signature
+                          (Int64.lognot (Int64.shift_left 1L (p land 63))))
+                       c.signature
+                then begin
+                  decr budget;
+                  if subset_except d ~skip_a:p c.sorted ~skip_b:np then begin
+                    Solver.simp_strengthen solver c.ci np;
+                    c.alive <- false
+                  end
+                end)
+              occ.(np))
+        d
+    end
+  in
+  let rec loop = function
+    | [] -> ()
+    | e :: rest ->
+        if !budget > 0 && Solver.ok solver then begin
+          check e;
+          loop rest
+        end
+  in
+  loop !entries

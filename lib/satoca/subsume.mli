@@ -1,0 +1,15 @@
+(** Subsumption and self-subsuming resolution over an occurrence index.
+
+    SatELite-style: sorted literal copies, 64-bit clause signatures and
+    literal occurrence lists.  Deletes every clause another clause
+    subsumes, and strengthens clauses by self-subsuming resolution
+    (removing [~p] from [C] when some [D] with [p] satisfies
+    [D\{p} <= C\{~p}]).  Part of the inprocessing layer (see
+    {!Inprocess}). *)
+
+val run : Solver.t -> budget:int -> unit
+(** Run one bounded round from the quiescent root state established by
+    {!Solver.simp_prepare}; [budget] caps the number of candidate
+    subset tests.  Deletions bump the [subsumed] counter,
+    strengthenings the [strengthened] counter; every change is logged
+    to the proof sink. *)

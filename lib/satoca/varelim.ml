@@ -1,0 +1,118 @@
+(* Bounded variable elimination (NiVER / SatELite style).
+
+   A variable v with positive occurrences P and negative occurrences N
+   can be removed by replacing P u N with the pairwise resolvents on v.
+   This is worthwhile (bounded) when the number of non-tautological
+   resolvents does not exceed |P| + |N| + growth and no resolvent gets
+   too wide.  The solver side ([Solver.simp_eliminate]) adds the
+   resolvents while the parents are still present (each one a RUP
+   step), deletes the originals, and keeps the non-learnt ones on a
+   reconstruction stack — models are patched after Sat, and any later
+   clause or assumption over v transparently reintroduces it.
+
+   Frozen variables (guards, totalizer outputs, anything assumed) are
+   never candidates. *)
+
+let max_resolvent_width = 24
+
+let run solver ~budget ~max_occ ~growth =
+  let nv = Solver.nvars solver in
+  let budget = ref budget in
+  (* occurrence lists over all live clauses; kept approximately fresh:
+     clauses added by eliminations are swept in, deletions are detected
+     lazily via the clause view *)
+  let pos = Array.make (max 1 nv) [] in
+  let neg = Array.make (max 1 nv) [] in
+  let scanned = ref 0 in
+  let sweep () =
+    let n = Solver.n_clause_slots solver in
+    for ci = !scanned to n - 1 do
+      let arr = Solver.clause_view solver ci in
+      Array.iter
+        (fun l ->
+          let v = l lsr 1 in
+          if l land 1 = 0 then pos.(v) <- ci :: pos.(v)
+          else neg.(v) <- ci :: neg.(v))
+        arr
+    done;
+    scanned := n
+  in
+  sweep ();
+  (* candidates by current occurrence cost, cheapest first *)
+  let cand = ref [] in
+  for v = nv - 1 downto 0 do
+    if
+      (not (Solver.is_frozen solver v))
+      && (not (Solver.is_eliminated solver v))
+      && Solver.root_value solver (Lit.pos v) = -1
+      && List.length pos.(v) <= max_occ
+      && List.length neg.(v) <= max_occ
+    then cand := v :: !cand
+  done;
+  let cost v = List.length pos.(v) * List.length neg.(v) in
+  let cands = List.sort (fun a b -> compare (cost a) (cost b)) !cand in
+  let live_with v ci =
+    let arr = Solver.clause_view solver ci in
+    Array.length arr > 0 && Array.exists (fun l -> l lsr 1 = v) arr
+  in
+  (* resolvent of two clauses on pivot variable v; None on tautology *)
+  let resolve v a b =
+    let merged =
+      List.sort_uniq compare
+        (List.filter (fun l -> l lsr 1 <> v) (Array.to_list a @ Array.to_list b))
+    in
+    if List.exists (fun l -> List.mem (Lit.negate l) merged) merged then None
+    else Some merged
+  in
+  List.iter
+    (fun v ->
+      if
+        !budget > 0 && Solver.ok solver
+        && (not (Solver.is_eliminated solver v))
+        && Solver.root_value solver (Lit.pos v) = -1
+      then begin
+        let ps = List.filter (live_with v) (List.sort_uniq compare pos.(v)) in
+        let ns = List.filter (live_with v) (List.sort_uniq compare neg.(v)) in
+        let np = List.length ps and nn = List.length ns in
+        if np <= max_occ && nn <= max_occ then begin
+          (* resolvents come from the irredundant clauses only; learnt
+             clauses over v are implied and simply dropped *)
+          let irr cis =
+            List.filter (fun ci -> not (Solver.clause_is_learnt solver ci)) cis
+          in
+          let ips = irr ps and ins = irr ns in
+          let limit = List.length ips + List.length ins + growth in
+          let resolvents = ref [] in
+          let count = ref 0 in
+          let feasible = ref true in
+          List.iter
+            (fun pi ->
+              if !feasible then
+                let pa = Solver.clause_view solver pi in
+                List.iter
+                  (fun ni ->
+                    if !feasible then begin
+                      decr budget;
+                      let na = Solver.clause_view solver ni in
+                      match resolve v pa na with
+                      | None -> ()
+                      | Some r ->
+                          if List.length r > max_resolvent_width then
+                            feasible := false
+                          else begin
+                            incr count;
+                            if !count > limit then feasible := false
+                            else resolvents := r :: !resolvents
+                          end
+                    end)
+                  ins)
+            ips;
+          if !feasible && !budget > 0 then begin
+            if
+              Solver.simp_eliminate solver v ~clause_idxs:(ps @ ns)
+                ~resolvents:!resolvents
+            then sweep ()
+          end
+        end
+      end)
+    cands

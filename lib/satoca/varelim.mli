@@ -1,0 +1,14 @@
+(** Bounded variable elimination (NiVER / SatELite style).
+
+    Replaces a variable's occurrence lists by their pairwise resolvents
+    when that does not grow the clause database, via
+    {!Solver.simp_eliminate} — which also maintains the model
+    reconstruction stack and the transparent reintroduction on later
+    use.  Part of the inprocessing layer (see {!Inprocess}). *)
+
+val run : Solver.t -> budget:int -> max_occ:int -> growth:int -> unit
+(** Run one bounded round from the quiescent root state established by
+    {!Solver.simp_prepare}.  [budget] caps resolution operations;
+    variables occurring more than [max_occ] times in either polarity
+    are skipped; an elimination may leave at most [growth] more
+    clauses than it removes.  Bumps the [eliminated] counter. *)

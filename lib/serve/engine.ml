@@ -79,6 +79,8 @@ let handle_map_exn t (m : Protocol.map_request) =
                   cache_hit = outcome.Session.cache_hit;
                   warm_start = outcome.Session.warm_start;
                   session_solves = outcome.Session.solves;
+                  inprocess =
+                    Cgra_satoca.Solver.inprocess_counters outcome.Session.solve_stats;
                 }
               in
               Ok
@@ -97,7 +99,17 @@ let handle_map_exn t (m : Protocol.map_request) =
               let engine =
                 match m.Protocol.backend with Some b -> b | None -> "sat"
               in
-              let provenance = { Protocol.cold_provenance with Protocol.mrrg_cache_hit } in
+              let info =
+                match result with
+                | IM.Mapped (_, i) | IM.Infeasible i | IM.Timeout i -> i
+              in
+              let provenance =
+                {
+                  Protocol.cold_provenance with
+                  Protocol.mrrg_cache_hit;
+                  inprocess = info.IM.inprocess;
+                }
+              in
               Ok
                 (Protocol.verdict_of_result ~engine
                    ~wall_seconds:(Deadline.elapsed_of ~start:t0)

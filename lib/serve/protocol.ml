@@ -29,10 +29,20 @@ type provenance = {
   cache_hit : bool;
   warm_start : bool;
   session_solves : int;
+  inprocess : (string * int) list;
+      (* per-pass SAT inprocessing counters of the solve behind the
+         verdict (per-solve delta for sessions, whole run otherwise);
+         [] when no in-process SAT solver ran *)
 }
 
 let cold_provenance =
-  { mrrg_cache_hit = false; cache_hit = false; warm_start = false; session_solves = 0 }
+  {
+    mrrg_cache_hit = false;
+    cache_hit = false;
+    warm_start = false;
+    session_solves = 0;
+    inprocess = [];
+  }
 
 type stats = {
   requests : int;
@@ -212,12 +222,17 @@ let request_of_line line =
 
 let provenance_to_json p =
   Jsonl.Obj
-    [
-      ("mrrg_cache_hit", Jsonl.Bool p.mrrg_cache_hit);
-      ("cache_hit", Jsonl.Bool p.cache_hit);
-      ("warm_start", Jsonl.Bool p.warm_start);
-      ("session_solves", num_int p.session_solves);
-    ]
+    ([
+       ("mrrg_cache_hit", Jsonl.Bool p.mrrg_cache_hit);
+       ("cache_hit", Jsonl.Bool p.cache_hit);
+       ("warm_start", Jsonl.Bool p.warm_start);
+       ("session_solves", num_int p.session_solves);
+     ]
+    @
+    match p.inprocess with
+    | [] -> []
+    | counters ->
+        [ ("inprocess", Jsonl.Obj (List.map (fun (k, n) -> (k, num_int n)) counters)) ])
 
 let provenance_of_json obj =
   {
@@ -225,6 +240,14 @@ let provenance_of_json obj =
     cache_hit = get_or obj "cache_hit" bool_opt false;
     warm_start = get_or obj "warm_start" bool_opt false;
     session_solves = get_or obj "session_solves" int_opt 0;
+    inprocess =
+      (* absent on the wire from older peers: default to no counters *)
+      (match Jsonl.member "inprocess" obj with
+      | Some (Jsonl.Obj fields) ->
+          List.filter_map
+            (fun (k, j) -> match int_opt j with Some n -> Some (k, n) | None -> None)
+            fields
+      | _ -> []);
   }
 
 let verdict_to_json v =

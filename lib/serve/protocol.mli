@@ -50,6 +50,12 @@ type provenance = {
       (** the session solver had solved before, so saved phases,
           branching activity and learnt clauses carried over *)
   session_solves : int;  (** solves this session has served, after this one *)
+  inprocess : (string * int) list;
+      (** per-pass SAT inprocessing counters of the solve behind the
+          verdict ({!Cgra_satoca.Solver.inprocess_counters}): the
+          per-solve delta for session solves, the whole run for
+          one-shot paths; [[]] when no in-process SAT solver ran.
+          Absent on the wire when empty; older peers parse to [[]]. *)
 }
 (** How much resident state the request reused.  A one-shot CLI run
     reports {!cold_provenance}. *)

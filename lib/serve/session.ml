@@ -17,10 +17,18 @@ type t = {
   mutex : Mutex.t;
 }
 
-type outcome = { result : IM.result; cache_hit : bool; warm_start : bool; solves : int }
+type outcome = {
+  result : IM.result;
+  cache_hit : bool;
+  warm_start : bool;
+  solves : int;
+  solve_stats : Solver.stats;
+}
 
 let create dfg =
-  { solver = Solver.create (); dfg; blocks = []; solves = 0; mutex = Mutex.create () }
+  let solver = Solver.create () in
+  Cgra_satoca.Inprocess.install solver;
+  { solver; dfg; blocks = []; solves = 0; mutex = Mutex.create () }
 
 let compiled_iis t =
   Mutex.lock t.mutex;
@@ -28,7 +36,7 @@ let compiled_iis t =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () -> List.map fst t.blocks)
 
-let info_of ~size ~solve_seconds ~build_seconds ~certified : IM.info =
+let info_of ~size ~solve_seconds ~build_seconds ~certified ~stats : IM.info =
   {
     IM.size;
     solve_seconds;
@@ -39,6 +47,7 @@ let info_of ~size ~solve_seconds ~build_seconds ~certified : IM.info =
     presolve_fixed = 0;
     certified;
     proof_steps = 0;
+    inprocess = Solver.inprocess_counters stats;
     diagnosis = None;
   }
 
@@ -66,7 +75,12 @@ let solve ?(deadline = Deadline.none) t ~mrrg ~ii =
         | None -> []  (* unreachable: session blocks are always guarded *)
       in
       let t1 = Deadline.now () in
+      let before = Solver.stats t.solver in
       let answer = Solver.solve_with ~deadline ~assumptions t.solver in
+      (* The incremental solver accumulates counters across every solve
+         of the session; the caller wants this solve's share, so report
+         the delta against the pre-solve snapshot. *)
+      let stats = Solver.stats_delta ~now:(Solver.stats t.solver) ~before in
       let solve_seconds = Deadline.elapsed_of ~start:t1 in
       let size = Formulation.size block.formulation in
       let result =
@@ -83,14 +97,14 @@ let solve ?(deadline = Deadline.none) t ~mrrg ~ii =
                 failwith
                   ("session solver produced a mapping the independent checker rejects: "
                   ^ String.concat "; " errs));
-            IM.Mapped (mapping, info_of ~size ~solve_seconds ~build_seconds ~certified:true)
+            IM.Mapped (mapping, info_of ~size ~solve_seconds ~build_seconds ~certified:true ~stats)
         | Solver.Unsat ->
-            IM.Infeasible (info_of ~size ~solve_seconds ~build_seconds ~certified:false)
+            IM.Infeasible (info_of ~size ~solve_seconds ~build_seconds ~certified:false ~stats)
         | Solver.Unknown ->
-            IM.Timeout (info_of ~size ~solve_seconds ~build_seconds ~certified:false)
+            IM.Timeout (info_of ~size ~solve_seconds ~build_seconds ~certified:false ~stats)
       in
       (* A timeout still counts as a solve: the solver retains learnt
          clauses and phases from the truncated run, so the next attempt
          is warm in the meaningful sense. *)
       t.solves <- t.solves + 1;
-      { result; cache_hit; warm_start; solves = t.solves })
+      { result; cache_hit; warm_start; solves = t.solves; solve_stats = stats })

@@ -32,6 +32,11 @@ type outcome = {
   cache_hit : bool;  (** this (II)'s encoding was already compiled in *)
   warm_start : bool;  (** the solver had completed at least one prior solve *)
   solves : int;  (** total solves served by this session, including this one *)
+  solve_stats : Cgra_satoca.Solver.stats;
+      (** {e this} solve's share of the resident solver's counters — a
+          {!Cgra_satoca.Solver.stats_delta} against the pre-solve
+          snapshot, not the session-cumulative totals.  Two sequential
+          solves therefore report disjoint work. *)
 }
 
 val create : Cgra_dfg.Dfg.t -> t

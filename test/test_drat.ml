@@ -144,6 +144,115 @@ let test_truncated_proof_incomplete () =
   Alcotest.(check bool) "steps alone check out" true
     (valid (Drat.check_events ~require_empty:false truncated))
 
+(* ---------------- inprocessing certificates ---------------- *)
+
+module Inprocess = Cgra_satoca.Inprocess
+
+let named_passes : (string * Inprocess.pass) list =
+  [
+    ("substitute", `Substitute);
+    ("subsume", `Subsume);
+    ("probe", `Probe);
+    ("varelim", `Varelim);
+  ]
+
+let all_passes = List.map snd named_passes
+
+let solve_logged_inproc config nvars clauses =
+  let s = Solver.create () in
+  let proof = Proof.create () in
+  Solver.set_proof s (Some proof);
+  Inprocess.install ~config s;
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve s, proof, s)
+
+let test_inprocess_certificates_validate () =
+  (* every pass alone, then all stacked: the refutation must still
+     check, because each pass logs its additions and deletions *)
+  let configs =
+    ("all passes", Inprocess.only all_passes)
+    :: List.map (fun (name, p) -> (name, Inprocess.only [ p ])) named_passes
+  in
+  List.iter
+    (fun (name, config) ->
+      let result, proof, _ = solve_logged_inproc config 30 (php_clauses 6 5) in
+      Alcotest.(check bool) (name ^ ": unsat") true (result = Solver.Unsat);
+      match Drat.check proof with
+      | Drat.Valid -> ()
+      | Drat.Invalid msg -> Alcotest.failf "%s: certificate rejected: %s" name msg)
+    configs;
+  (* the validation is not vacuous: stacked passes do simplify php(6,5) *)
+  let _, _, s = solve_logged_inproc (Inprocess.only all_passes) 30 (php_clauses 6 5) in
+  let st = Solver.stats s in
+  Alcotest.(check bool) "passes did work" true
+    (st.Solver.subsumed + st.Solver.strengthened + st.Solver.eliminated
+     + st.Solver.probed_failed + st.Solver.substituted
+    > 0)
+
+let test_tamper_dropped_elim_deletion () =
+  (* BVE on x: add the resolvent, delete both parents.  A later blocked
+     clause [c] is RAT only because the deletion removed the one clause
+     whose resolvent is not derivable; drop that deletion from the
+     trace and the checker must refuse the RAT step. *)
+  let x = Lit.pos 0 and c = Lit.pos 1 and a = Lit.pos 2 and b = Lit.pos 3 in
+  let nx = Lit.neg 0 and nc = Lit.neg 1 and nb = Lit.neg 3 in
+  let c1 = [ x; nc ] and c2 = [ nx; a ] in
+  let prefix =
+    [
+      Proof.Input c1;
+      Proof.Input c2;
+      Proof.Input [ a; b ];
+      Proof.Input [ a; nb ];
+      Proof.Add [ nc; a ];  (* the x-resolvent of c1 and c2 *)
+      Proof.Delete c2;
+    ]
+  in
+  Alcotest.(check bool) "control: elimination then blocked clause validates" true
+    (valid
+       (Drat.check_events ~require_empty:false (prefix @ [ Proof.Delete c1; Proof.Add [ c ] ])));
+  match Drat.check_events ~require_empty:false (prefix @ [ Proof.Add [ c ] ]) with
+  | Drat.Invalid _ -> ()
+  | Drat.Valid -> Alcotest.fail "trace missing an elimination deletion was accepted"
+
+let test_tamper_forged_strengthening () =
+  (* self-subsuming resolution shortens (a|b|c) to (a|b) only against a
+     partner like (a|b|~c); forge the same strengthened clause without
+     the partner and it is neither RUP nor RAT *)
+  let a = Lit.pos 0 and b = Lit.pos 1 and c = Lit.pos 2 and d = Lit.pos 3 in
+  let na = Lit.neg 0 and nc = Lit.neg 2 in
+  let strengthened = [ Proof.Add [ a; b ]; Proof.Delete [ a; b; c ] ] in
+  Alcotest.(check bool) "control: genuine strengthening validates" true
+    (valid
+       (Drat.check_events ~require_empty:false
+          ([ Proof.Input [ a; b; c ]; Proof.Input [ a; b; nc ]; Proof.Input [ na; d ] ]
+          @ strengthened)));
+  match
+    Drat.check_events ~require_empty:false
+      ([ Proof.Input [ a; b; c ]; Proof.Input [ na; d ] ] @ strengthened)
+  with
+  | Drat.Invalid _ -> ()
+  | Drat.Valid -> Alcotest.fail "forged strengthened clause was accepted"
+
+let test_varelim_model_reconstruction () =
+  (* x occurs only positively, so elimination drops its clauses without
+     resolvents; the solver then never sees x during search, and only
+     reconstruction can give it the value the original clauses force.
+     a|b guarantees one premise fires, so x must come back true. *)
+  let x = 2 and a = 0 and b = 1 in
+  let clauses =
+    [ [ Lit.pos x; Lit.neg a ]; [ Lit.pos x; Lit.neg b ]; [ Lit.pos a; Lit.pos b ] ]
+  in
+  let s = Solver.create () in
+  Inprocess.install ~config:(Inprocess.only [ `Varelim ]) s;
+  ignore (Solver.new_vars s 3);
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x was eliminated" true (Solver.is_eliminated s x);
+  Alcotest.(check bool) "reconstructed x satisfies its clauses" true (Solver.value s x);
+  Alcotest.(check bool) "whole model satisfies the original CNF" true
+    (List.for_all (fun cl -> List.exists (fun l -> Solver.lit_value s l) cl) clauses)
+
 (* ---------------- checker unit behaviour ---------------- *)
 
 let test_hand_written_proof () =
@@ -230,6 +339,38 @@ let test_solve_certifies_infeasible () =
       Alcotest.(check bool) "certificate validates" true (valid (Drat.check proof)))
     [ Solve.Sat_backed; Solve.Branch_and_bound; Solve.Brute_force ]
 
+let test_inprocess_ilp_certificate () =
+  (* the certified path with every pass enabled: simplification steps
+     join the trace and the refutation must still check *)
+  let proof = Proof.create () in
+  let outcome =
+    Solve.solve ~proof ~inprocess:(Inprocess.only all_passes) (infeasible_model ())
+  in
+  Alcotest.(check bool) "proven infeasible" true (outcome = Solve.Infeasible);
+  Alcotest.(check bool) "trace refutes" true (Proof.has_empty_clause proof);
+  Alcotest.(check bool) "certificate validates" true (valid (Drat.check proof))
+
+let test_inprocess_mapping_replays () =
+  (* end to end: a mapping produced with every pass enabled must
+     survive the Check.run replay — which it cannot do unless
+     eliminated variables were reconstructed before extraction *)
+  let dfg = Cgra_dfg.Benchmarks.mac () in
+  let lib =
+    Cgra_arch.Library.make
+      { Cgra_arch.Library.default with Cgra_arch.Library.rows = 4; cols = 4 }
+  in
+  let mrrg = Cgra_mrrg.Build.elaborate lib ~ii:1 in
+  match
+    Cgra_core.Ilp_mapper.map
+      ~deadline:(Cgra_util.Deadline.after ~seconds:60.0)
+      ~inprocess:(Inprocess.only all_passes) dfg mrrg
+  with
+  | Cgra_core.Ilp_mapper.Mapped (m, _) -> (
+      match Cgra_core.Check.run m with
+      | Ok () -> ()
+      | Error msgs -> Alcotest.failf "replay rejected: %s" (String.concat "; " msgs))
+  | r -> Alcotest.failf "expected mapped, got %a" Cgra_core.Ilp_mapper.pp_result r
+
 let test_descent_certifies_optimality () =
   (* minimisation with a strictly positive optimum: the descent cannot
      stop at the arithmetic floor, so its final UNSAT must close a
@@ -269,5 +410,17 @@ let suites =
           test_solve_certifies_infeasible;
         Alcotest.test_case "descent certifies optimality" `Quick
           test_descent_certifies_optimality;
+        Alcotest.test_case "inprocessing certificates validate" `Quick
+          test_inprocess_certificates_validate;
+        Alcotest.test_case "dropped elimination deletion rejects" `Quick
+          test_tamper_dropped_elim_deletion;
+        Alcotest.test_case "forged strengthening rejects" `Quick
+          test_tamper_forged_strengthening;
+        Alcotest.test_case "varelim models are reconstructed" `Quick
+          test_varelim_model_reconstruction;
+        Alcotest.test_case "certified ILP with inprocessing" `Quick
+          test_inprocess_ilp_certificate;
+        Alcotest.test_case "inprocessed mapping survives replay" `Slow
+          test_inprocess_mapping_replays;
       ] );
   ]

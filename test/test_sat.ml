@@ -526,6 +526,168 @@ let test_dimacs_whitespace_tolerant () =
   | Ok (_, clauses) ->
       Alcotest.(check bool) "clause spans lines" true (clauses = [ [ Lit.pos 0; Lit.pos 1 ] ])
 
+(* ---------------- inprocessing differential fuzzers ----------------
+
+   Each simplification pass runs alone against the all-off baseline:
+   the verdict must match both the baseline and brute force, and any
+   Sat model must satisfy the original clauses — which is exactly what
+   breaks if variable elimination forgets to reconstruct an eliminated
+   variable, or substitution maps a literal the wrong way round.  The
+   [only] configs force a round at the start of every solve, so the
+   passes really fire on these tiny instances. *)
+
+module Inprocess = Cgra_satoca.Inprocess
+module Solve = Cgra_ilp.Solve
+
+let inprocess_passes : (string * Inprocess.pass) list =
+  [
+    ("substitute", `Substitute);
+    ("subsume", `Subsume);
+    ("probe", `Probe);
+    ("varelim", `Varelim);
+  ]
+
+let solve_inproc config nvars clauses =
+  let s = Solver.create () in
+  Inprocess.install ~config s;
+  ignore (Solver.new_vars s nvars);
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve s, s)
+
+let model_satisfies s clauses =
+  List.for_all (fun clause -> List.exists (fun l -> Solver.lit_value s l) clause) clauses
+
+let prop_inprocess_pass_cnf (name, pass) =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "inprocess %s alone: CNF verdict = all-off = brute force" name)
+    ~count:250
+    ~print:(fun (nvars, clauses) -> Dimacs.print ~nvars clauses)
+    gen_cnf
+    (fun (nvars, clauses) ->
+      let expected = brute_force_sat nvars clauses in
+      let off, _ = solve_inproc Inprocess.all_off nvars clauses in
+      let on, s = solve_inproc (Inprocess.only [ pass ]) nvars clauses in
+      (match off with
+      | Solver.Sat -> expected
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+      &&
+      match on with
+      | Solver.Unknown -> false
+      | Solver.Unsat -> not expected
+      | Solver.Sat -> expected && model_satisfies s clauses)
+
+let prop_inprocess_pass_lp (name, pass) =
+  (* through the whole Sat_backed pipeline: clausification, totalizer
+     descent, model decoding — the optimum must be invariant under the
+     pass, and shrunken counterexamples print as pasteable LP text *)
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "inprocess %s alone: LP optimum = all-off" name)
+    ~count:200 ~print:Test_ilp.print_model_spec Test_ilp.gen_model_spec
+    (fun spec ->
+      let m = Test_ilp.build_model spec in
+      let on = Solve.solve ~engine:Solve.Sat_backed ~inprocess:(Inprocess.only [ pass ]) m in
+      let off = Solve.solve ~engine:Solve.Sat_backed ~inprocess:Inprocess.all_off m in
+      Test_ilp.outcome_matches m on off)
+
+let test_inprocess_regression_corpus () =
+  (* fixed seeds, replayed forever: instances that historically made a
+     pass fire (failed roots for probe, duplicate-heavy clause lists
+     for subsume, binary cycles for substitute, low-occurrence pivots
+     for varelim).  Checked per pass and with every pass stacked. *)
+  let seeds = [ 11; 42; 97; 1234; 5678; 90210; 31337; 271828; 314159; 999983 ] in
+  let random_instances =
+    List.map
+      (fun seed ->
+        let rng = Rng.create ~seed in
+        let nvars = 2 + Rng.int rng 10 in
+        let nclauses = Rng.int rng 40 in
+        (Printf.sprintf "seed %d" seed, nvars, random_cnf rng nvars nclauses 3))
+      seeds
+  in
+  (* hand-built instances that guarantee each pass finds work: a binary
+     equivalence cycle for substitution, a failing root for probing, a
+     subsumed superset clause, and a two-occurrence pivot for
+     elimination *)
+  let crafted_instances =
+    [
+      ( "crafted: x0<->x1 equivalence",
+        6,
+        [
+          [ Lit.neg 0; Lit.pos 1 ];
+          [ Lit.neg 1; Lit.pos 0 ];
+          [ Lit.pos 1; Lit.pos 2; Lit.pos 3 ];
+          [ Lit.neg 1; Lit.pos 4; Lit.pos 5 ];
+          [ Lit.pos 2; Lit.neg 4 ];
+        ] );
+      ( "crafted: ~x0 fails under probing",
+        4,
+        [ [ Lit.pos 0; Lit.pos 1 ]; [ Lit.pos 0; Lit.neg 1 ]; [ Lit.neg 0; Lit.pos 2; Lit.pos 3 ] ]
+      );
+      ( "crafted: subsumed superset",
+        5,
+        [
+          [ Lit.pos 0; Lit.pos 1 ];
+          [ Lit.pos 0; Lit.pos 1; Lit.pos 2 ];
+          [ Lit.neg 0; Lit.pos 3; Lit.pos 4 ];
+          [ Lit.pos 0; Lit.pos 3 ];
+          [ Lit.neg 0; Lit.pos 3; Lit.neg 4 ];
+        ] );
+      ( "crafted: eliminable pivot x5",
+        6,
+        [
+          [ Lit.pos 5; Lit.pos 0 ];
+          [ Lit.neg 5; Lit.pos 1 ];
+          [ Lit.pos 0; Lit.pos 2; Lit.pos 3 ];
+          [ Lit.pos 1; Lit.neg 2; Lit.pos 4 ];
+        ] );
+    ]
+  in
+  (* aggregate deduction counters across the corpus, to prove the
+     fuzzers are not vacuously green because a pass never ran *)
+  let fired = Hashtbl.create 4 in
+  let work name (st : Solver.stats) =
+    match name with
+    | "substitute" -> st.substituted
+    | "subsume" -> st.subsumed + st.strengthened
+    | "probe" -> st.probed_failed
+    | "varelim" -> st.eliminated
+    | _ -> 0
+  in
+  List.iter
+    (fun (label, nvars, clauses) ->
+      let expected = brute_force_sat nvars clauses in
+      let check name verdict s =
+        let ok =
+          match verdict with
+          | Solver.Sat -> expected && model_satisfies s clauses
+          | Solver.Unsat -> not expected
+          | Solver.Unknown -> false
+        in
+        Alcotest.(check bool) (Printf.sprintf "%s: %s" label name) true ok
+      in
+      List.iter
+        (fun (name, pass) ->
+          let verdict, s = solve_inproc (Inprocess.only [ pass ]) nvars clauses in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt fired name) in
+          Hashtbl.replace fired name (prev + work name (Solver.stats s));
+          check name verdict s)
+        inprocess_passes;
+      let verdict, s =
+        solve_inproc
+          (Inprocess.only [ `Substitute; `Subsume; `Probe; `Varelim ])
+          nvars clauses
+      in
+      check "all passes" verdict s)
+    (random_instances @ crafted_instances);
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fired somewhere in the corpus" name)
+        true
+        (Option.value ~default:0 (Hashtbl.find_opt fired name) > 0))
+    inprocess_passes
+
 let test_lit_encoding () =
   Alcotest.(check int) "pos var" 3 (Lit.var (Lit.pos 3));
   Alcotest.(check bool) "pos sign" true (Lit.sign (Lit.pos 3));
@@ -592,4 +754,10 @@ let suites =
           prop_solve_with_agrees_with_units;
           prop_dimacs_roundtrip_random;
         ] );
+    ( "sat:inprocess",
+      Alcotest.test_case "fixed-seed regression corpus" `Quick test_inprocess_regression_corpus
+      :: List.map QCheck_alcotest.to_alcotest
+           (List.concat_map
+              (fun p -> [ prop_inprocess_pass_cnf p; prop_inprocess_pass_lp p ])
+              inprocess_passes) );
   ]

@@ -130,6 +130,7 @@ let test_protocol_response_roundtrip () =
           cache_hit = true;
           warm_start = true;
           session_solves = 3;
+          inprocess = [ ("subsumed", 2); ("eliminated", 1) ];
         };
     }
   in
@@ -186,6 +187,7 @@ let test_protocol_decision_projection () =
                cache_hit = true;
                warm_start = true;
                session_solves = 12;
+               inprocess = [ ("probed_failed", 4) ];
              };
          })
   in
@@ -274,6 +276,30 @@ let test_session_repeat_infeasible () =
   Alcotest.(check string) "repeat still infeasible" "infeasible" (status_of o2.Session.result);
   Alcotest.(check bool) "repeat warm + hit" true
     (o2.Session.cache_hit && o2.Session.warm_start)
+
+let test_session_per_solve_stats () =
+  (* The resident solver accumulates counters for the session's entire
+     lifetime; [solve_stats] must be this solve's share only.  Were the
+     outcome reporting the cumulative totals, every monotone counter of
+     the second solve would dominate the first's (o2.X >= o1.X, and
+     strictly for propagations since the repeat re-propagates its
+     assumption).  A genuine per-solve delta gives the warm repeat of
+     an already-refuted query far less work than the cold solve. *)
+  let module Solver = Cgra_satoca.Solver in
+  let session = Session.create (benchmark "mac") in
+  let o1 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  let o2 = Session.solve session ~mrrg:(small_mrrg 2) ~ii:2 in
+  let s1 = o1.Session.solve_stats and s2 = o2.Session.solve_stats in
+  Alcotest.(check bool) "cold solve did real work" true (s1.Solver.propagations > 0);
+  Alcotest.(check bool) "warm repeat propagated something" true (s2.Solver.propagations > 0);
+  Alcotest.(check bool)
+    "repeat reports its own work, not the session total"
+    true
+    (s2.Solver.propagations < s1.Solver.propagations);
+  Alcotest.(check bool)
+    "repeat's conflicts exclude the cold refutation's"
+    true
+    (s2.Solver.conflicts < s1.Solver.conflicts || s1.Solver.conflicts = 0)
 
 (* Differential guarantee of the whole warm-start design: for random
    DFGs, the resident guarded-block session and the stateless one-shot
@@ -553,6 +579,8 @@ let suites =
           test_session_incremental_ii;
         Alcotest.test_case "repeated infeasible query stays warm" `Slow
           test_session_repeat_infeasible;
+        Alcotest.test_case "outcome stats are per-solve deltas" `Slow
+          test_session_per_solve_stats;
         QCheck_alcotest.to_alcotest prop_session_agrees_with_oneshot;
       ] );
     ( "serve-engine",
