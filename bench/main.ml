@@ -22,6 +22,10 @@
                        one socket, cache hit rate; appends a run record to
                        BENCH_serve.json and exits 1 if the warm path is not
                        at least 1.5x faster than the cold one
+     archscale         elaboration/encode/solve cost vs array size (2x2 to
+                       16x16, mesh vs torus); appends a run record to
+                       BENCH_archscale.json and exits 1 if 8x8 mesh
+                       elaboration regresses >2x over the journaled baseline
      micro             Bechamel micro-benchmarks of the pipeline stages
      all               table1 + table2 + fig8 + micro (default)
 
@@ -50,20 +54,22 @@ module Jsonl = Cgra_sweep.Jsonl
 (* Append a run record to BENCH_<name>.json, preserving earlier runs so
    each journal accumulates a history across commits — the same schema
    for every journaled subcommand: {"bench": name, "runs": [...]}. *)
+let previous_bench_runs ~name =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Jsonl.of_string text with
+    | Ok json -> (
+        match Jsonl.member "runs" json with Some (Jsonl.List runs) -> runs | _ -> [])
+    | Error _ -> []
+  end
+  else []
+
 let record_bench_run ~name fields =
   let path = Printf.sprintf "BENCH_%s.json" name in
-  let previous =
-    if Sys.file_exists path then begin
-      let ic = open_in path in
-      let text = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      match Jsonl.of_string text with
-      | Ok json -> (
-          match Jsonl.member "runs" json with Some (Jsonl.List runs) -> runs | _ -> [])
-      | Error _ -> []
-    end
-    else []
-  in
+  let previous = previous_bench_runs ~name in
   let doc =
     Jsonl.Obj [ ("bench", Jsonl.Str name); ("runs", Jsonl.List (previous @ [ fields ])) ]
   in
@@ -886,6 +892,171 @@ let run_serve opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* arch-scale: pipeline cost vs array size                             *)
+(* ------------------------------------------------------------------ *)
+
+module Topology = Cgra_arch.Topology
+
+(* Elaboration, encoding and solving cost as the array grows from the
+   paper's 4x4 to 16x16, mesh vs torus.  Elaboration is measured at
+   every size (best of 3, via the profiled hook); the formulation is
+   built up to 8x8 and solved up to 4x4 — beyond that the point is the
+   scaling curve, not the verdict.  The gate compares 8x8 mesh
+   elaboration against the previous journaled run: a >2x regression
+   fails the build. *)
+let archscale_gate = 2.0
+
+let archscale_baseline () =
+  (* last journaled run's 8x8 mesh elaboration seconds *)
+  match List.rev (previous_bench_runs ~name:"archscale") with
+  | [] -> None
+  | last :: _ -> (
+      match Jsonl.member "rows" last with
+      | Some (Jsonl.List rows) ->
+          List.find_map
+            (fun row ->
+              match
+                (Jsonl.member "size" row, Jsonl.member "topology" row,
+                 Jsonl.member "elaborate_seconds" row)
+              with
+              | Some (Jsonl.Num 8.0), Some (Jsonl.Str "mesh"), Some (Jsonl.Num s) -> Some s
+              | _ -> None)
+            rows
+      | _ -> None)
+
+let run_archscale opts =
+  Printf.printf "== arch-scale: elaborate/encode/solve cost vs array size ==\n";
+  let dfg =
+    match Benchmarks.by_name "mac" with
+    | Some d -> d
+    | None -> failwith "bench archscale: mac benchmark missing"
+  in
+  let best_of n f =
+    let best = ref infinity and keep = ref None in
+    for _ = 1 to n do
+      let dt, v = f () in
+      if dt < !best then begin
+        best := dt;
+        keep := Some v
+      end
+    done;
+    (!best, Option.get !keep)
+  in
+  Printf.printf "  %-8s %-6s %12s %10s %10s %12s %10s\n" "topology" "size" "elaborate"
+    "nodes" "edges" "encode" "solve";
+  let gate_current = ref None in
+  let rows =
+    List.concat_map
+      (fun topology ->
+        List.map
+          (fun size ->
+            let config =
+              { Lib.rows = size; cols = size; topology; fu_mix = Lib.Homogeneous;
+                route = Lib.Direct }
+            in
+            let arch = Lib.make config in
+            let elab_seconds, (profile : Build.profile) =
+              best_of 3 (fun () ->
+                  let _, p = Build.elaborate_profiled arch ~ii:1 in
+                  (p.Build.total_seconds, p))
+            in
+            if size = 8 && topology = Topology.Mesh then gate_current := Some elab_seconds;
+            let mrrg = Build.elaborate arch ~ii:1 in
+            let encode =
+              if size <= 8 then begin
+                let t0 = Deadline.now () in
+                let f = Formulation.build ~objective:Formulation.Feasibility dfg mrrg in
+                let dt = Deadline.elapsed_of ~start:t0 in
+                let s = Formulation.size f in
+                Some (dt, s.Formulation.n_rows)
+              end
+              else None
+            in
+            let solve =
+              if size <= 4 then begin
+                let t0 = Deadline.now () in
+                let result =
+                  IM.map ~warm_start:0.0
+                    ~deadline:(Deadline.after ~seconds:opts.limit)
+                    dfg mrrg
+                in
+                let dt = Deadline.elapsed_of ~start:t0 in
+                let status =
+                  match result with
+                  | IM.Mapped _ -> "feasible"
+                  | IM.Infeasible _ -> "infeasible"
+                  | IM.Timeout _ -> "timeout"
+                in
+                Some (dt, status)
+              end
+              else None
+            in
+            Printf.printf "  %-8s %-6s %11.1fms %10d %10d %12s %10s\n%!"
+              (Topology.to_string topology)
+              (Printf.sprintf "%dx%d" size size)
+              (1000.0 *. elab_seconds) profile.Build.n_nodes profile.Build.n_edges
+              (match encode with
+              | Some (dt, _) -> Printf.sprintf "%.1fms" (1000.0 *. dt)
+              | None -> "-")
+              (match solve with
+              | Some (dt, status) -> Printf.sprintf "%s %.1fs" status dt
+              | None -> "-");
+            Jsonl.Obj
+              (List.concat
+                 [
+                   [
+                     ("size", Jsonl.Num (float_of_int size));
+                     ("topology", Jsonl.Str (Topology.to_string topology));
+                     ("elaborate_seconds", Jsonl.Num elab_seconds);
+                     ("instance_seconds", Jsonl.Num profile.Build.instance_seconds);
+                     ("wire_seconds", Jsonl.Num profile.Build.wire_seconds);
+                     ("nodes", Jsonl.Num (float_of_int profile.Build.n_nodes));
+                     ("edges", Jsonl.Num (float_of_int profile.Build.n_edges));
+                   ];
+                   (match encode with
+                   | Some (dt, n_rows) ->
+                       [
+                         ("encode_seconds", Jsonl.Num dt);
+                         ("model_rows", Jsonl.Num (float_of_int n_rows));
+                       ]
+                   | None -> []);
+                   (match solve with
+                   | Some (dt, status) ->
+                       [
+                         ("solve_seconds", Jsonl.Num dt);
+                         ("solve_status", Jsonl.Str status);
+                       ]
+                   | None -> []);
+                 ]))
+          [ 2; 4; 8; 16 ])
+      [ Topology.Mesh; Topology.Torus ]
+  in
+  let baseline = archscale_baseline () in
+  record_bench_run ~name:"archscale"
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("benchmark", Jsonl.Str "mac");
+         ("gate", Jsonl.Num archscale_gate);
+         ("rows", Jsonl.List rows);
+       ]);
+  (match (baseline, !gate_current) with
+  | Some base, Some current ->
+      Printf.printf "  gate: 8x8 mesh elaboration %.1fms vs journaled %.1fms (limit %.1fx)\n%!"
+        (1000.0 *. current) (1000.0 *. base) archscale_gate;
+      if current > archscale_gate *. base then begin
+        Printf.eprintf
+          "archscale: 8x8 elaboration regressed %.2fx over the journaled baseline (%.1fms -> \
+           %.1fms, gate %.1fx)\n%!"
+          (current /. base) (1000.0 *. base) (1000.0 *. current) archscale_gate;
+        exit 1
+      end
+  | None, _ ->
+      Printf.printf "  gate: no journaled baseline yet — this run seeds BENCH_archscale.json\n%!"
+  | _, None -> ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Argument parsing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -938,6 +1109,7 @@ let () =
       | "explain" -> run_explain opts
       | "crosscheck" -> run_crosscheck opts
       | "serve" -> run_serve opts
+      | "archscale" | "arch-scale" -> run_archscale opts
       | "micro" -> run_micro ()
       | "all" ->
           run_table1 opts;

@@ -37,7 +37,9 @@ let arch_names = List.map fst (Lib.paper_configs ~size:4)
 
 let arch_arg =
   let doc =
-    Printf.sprintf "Architecture: one of %s, or the path of an .adl file."
+    Printf.sprintf
+      "Architecture: one of %s, a gallery name (see $(b,arch gallery)), the path of an .adl \
+       file, or $(b,-) to read ADL text from stdin."
       (String.concat ", " arch_names)
   in
   Arg.(value & opt string "homo-orth" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
@@ -67,18 +69,26 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let load_arch name size =
-  match Lib.find_config ~size name with
-  | Some config -> Ok (Lib.make config)
-  | None ->
-      if Sys.file_exists name then
-        let ic = open_in_bin name in
-        let text = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        Adl.of_string text
-      else
-        Error
-          (Printf.sprintf "unknown architecture %S (expected one of %s or a file)" name
-             (String.concat ", " arch_names))
+  if name = "-" then Adl.of_string (In_channel.input_all stdin)
+  else
+    match Lib.find_config ~size name with
+    | Some config -> Ok (Lib.make config)
+    | None -> (
+        match Lib.find_gallery name with
+        | Some config -> Ok (Lib.make config)
+        | None ->
+            if Sys.file_exists name then
+              let ic = open_in_bin name in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              Adl.of_string text
+            else
+              Error
+                (Printf.sprintf
+                   "unknown architecture %S (expected one of %s, a gallery name from `cgra_map \
+                    arch gallery`, the path of an .adl file, or `-` for stdin)"
+                   name
+                   (String.concat ", " arch_names)))
 
 let load_benchmark name =
   match Benchmarks.by_name name with
@@ -416,6 +426,204 @@ let adl_cmd =
   Cmd.v
     (Cmd.info "adl" ~doc:"Print an architecture in the textual description language.")
     Term.(const run $ arch_arg $ size_arg)
+
+(* ---------------- parametric generators and fuzzing ---------------- *)
+
+module Topo = Cgra_arch.Topology
+module Fuzz = Cgra_fuzz.Fuzz
+
+let topology_conv =
+  let parse s =
+    match Topo.of_string s with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown topology %S (known: %s)" s
+                (String.concat ", " (List.map fst Topo.all))))
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Topo.to_string t))
+
+let fu_mix_conv =
+  let parse s =
+    match Lib.fu_mix_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown fu-mix %S (known: homo, hetero)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Lib.fu_mix_to_string m))
+
+let gen_config_term =
+  let rows_arg =
+    let doc = "Grid rows." in
+    Arg.(value & opt int 4 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let cols_arg =
+    let doc = "Grid columns." in
+    Arg.(value & opt int 4 & info [ "cols" ] ~docv:"N" ~doc)
+  in
+  let topology_arg =
+    let doc = "Interconnect topology: mesh, torus, king-mesh or diagonal-torus." in
+    Arg.(value & opt topology_conv Topo.Mesh & info [ "topology" ] ~docv:"TOPO" ~doc)
+  in
+  let fu_mix_arg =
+    let doc = "Functional-unit mix: homo (all ALUs multiply) or hetero (checkerboard)." in
+    Arg.(value & opt fu_mix_conv Lib.Homogeneous & info [ "fu-mix" ] ~docv:"MIX" ~doc)
+  in
+  let switchbox_arg =
+    let doc =
+      "Route operands through N shared EDGE-style switchbox lanes per tile instead of \
+       direct full-crossbar muxes."
+    in
+    Arg.(value & opt (some int) None & info [ "switchbox" ] ~docv:"N" ~doc)
+  in
+  let build rows cols topology fu_mix switchbox =
+    let route = match switchbox with None -> Lib.Direct | Some n -> Lib.Switchbox n in
+    { Lib.rows; cols; topology; fu_mix; route }
+  in
+  Term.(const build $ rows_arg $ cols_arg $ topology_arg $ fu_mix_arg $ switchbox_arg)
+
+let arch_gen_cmd =
+  let compact_arg =
+    let doc = "Emit the compact (arch-gen ...) form instead of the full netlist." in
+    Arg.(value & flag & info [ "compact" ] ~doc)
+  in
+  let run config compact =
+    if compact then print_string (Adl.config_to_string config)
+    else
+      match Lib.make config with
+      | arch -> print_string (Adl.to_string arch)
+      | exception Invalid_argument msg -> or_die (Error msg)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a parametric grid architecture and print its ADL netlist on stdout (pipe \
+          into any subcommand that accepts `-a -`).")
+    Term.(const run $ gen_config_term $ compact_arg)
+
+let arch_show_cmd =
+  let arch_pos_arg =
+    let doc =
+      "Architecture: a paper or gallery name, the path of an .adl file, or $(b,-) for stdin."
+    in
+    Arg.(value & pos 0 string "homo-orth" & info [] ~docv:"ARCH" ~doc)
+  in
+  let run arch size contexts =
+    let a = or_die (load_arch arch size) in
+    let mrrg, profile = Build.elaborate_profiled a ~ii:contexts in
+    let s = Mrrg.stats mrrg in
+    Printf.printf "%s: %s\n" (Arch.name a)
+      (Format.asprintf "%a" Arch.pp_summary (Arch.summary a));
+    Printf.printf "MRRG(ii=%d): %d route + %d func nodes, %d edges\n" contexts s.Mrrg.n_route
+      s.Mrrg.n_func s.Mrrg.n_edges;
+    Printf.printf "elaboration: %.1f ms (instances %.1f ms, wires %.1f ms)\n"
+      (1000.0 *. profile.Build.total_seconds)
+      (1000.0 *. profile.Build.instance_seconds)
+      (1000.0 *. profile.Build.wire_seconds)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Show an architecture's netlist summary, MRRG size and elaboration timing (accepts \
+          paper names, gallery names, .adl files and `-`).")
+    Term.(const run $ arch_pos_arg $ size_arg $ contexts_arg)
+
+(* The markdown this prints is pasted verbatim into docs/ADL.md's
+   gallery section; test_arch pins the two in sync. *)
+let gallery_table () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "| Name | Size | Interconnect | FU mix | Routing | MRRG nodes (II=1) | MRRG edges (II=1) |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (name, (config : Lib.config)) ->
+      let mrrg = Build.elaborate (Lib.make config) ~ii:1 in
+      let routing =
+        match config.Lib.route with
+        | Lib.Direct -> "direct"
+        | Lib.Switchbox n -> Printf.sprintf "switchbox-%d" n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %dx%d | %s | %s | %s | %d | %d |\n" name config.Lib.rows
+           config.Lib.cols
+           (Topo.to_string config.Lib.topology)
+           (Lib.fu_mix_to_string config.Lib.fu_mix)
+           routing (Mrrg.n_nodes mrrg) (Mrrg.n_edges mrrg)))
+    Lib.gallery;
+  Buffer.contents buf
+
+let arch_gallery_cmd =
+  let run () = print_string (gallery_table ()) in
+  Cmd.v
+    (Cmd.info "gallery"
+       ~doc:
+         "Print every built-in architecture (paper structures and generated presets) as the \
+          markdown gallery table of docs/ADL.md.")
+    Term.(const run $ const ())
+
+let arch_cmd =
+  Cmd.group
+    (Cmd.info "arch"
+       ~doc:
+         "Parametric architecture generators: generate ADL netlists, inspect architectures, \
+          list the built-in gallery.")
+    [ arch_gen_cmd; arch_show_cmd; arch_gallery_cmd ]
+
+let fuzz_arch_cmd =
+  let count_arg =
+    let doc = "Number of random architectures to sample." in
+    Arg.(value & opt int 25 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let max_dim_arg =
+    let doc = "Maximum rows/columns of sampled grids." in
+    Arg.(value & opt int 3 & info [ "max-dim" ] ~docv:"N" ~doc)
+  in
+  let no_solve_arg =
+    let doc = "Skip the solver-backed invariants (mapped-check, wrap-monotone, journal)." in
+    Arg.(value & flag & info [ "no-solve" ] ~doc)
+  in
+  let fuzz_limit_arg =
+    let doc = "Per-solve time limit in seconds (a timeout is never a violation)." in
+    Arg.(value & opt float 5.0 & info [ "t"; "limit" ] ~docv:"SECS" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print each sample to stderr as it is checked." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let run seed count max_dim limit no_solve verbose =
+    let progress =
+      if verbose then
+        Some (fun i s -> Printf.eprintf "[%d/%d] %s\n%!" (i + 1) count (Fuzz.sample_to_string s))
+      else None
+    in
+    let report = Fuzz.run ~solve:(not no_solve) ~limit ~max_dim ?progress ~seed ~count () in
+    match report.Fuzz.violations with
+    | [] ->
+        Printf.printf "fuzz-arch: %d architectures, %d invariant checks, no violations\n"
+          report.Fuzz.samples report.Fuzz.checks
+    | violations ->
+        List.iter
+          (fun (v : Fuzz.violation) ->
+            Printf.printf "violation[%s]: %s\n" v.Fuzz.invariant v.Fuzz.detail;
+            Printf.printf "  shrunk: %s\n" (Fuzz.sample_to_string v.Fuzz.sample);
+            Printf.printf "  replay: cgra_map fuzz-arch --seed %d --count 1 --max-dim %d\n"
+              v.Fuzz.sample.Fuzz.seed max_dim)
+          violations;
+        Printf.printf "fuzz-arch: %d violation(s) over %d architectures\n"
+          (List.length violations) report.Fuzz.samples;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz-arch"
+       ~doc:
+         "Sample random architectures from the generator space and check end-to-end \
+          invariants on each: ADL round-trips, MRRG well-formedness and size formulas, \
+          mapper-verdict sanity (a mapping must pass the independent checker; adding \
+          wrap-around links never turns feasible into infeasible), and sweep-journal \
+          round-trips.  Violations are shrunk and printed with a replay seed; exits 1 if \
+          any invariant fails.")
+    Term.(const run $ seed_arg $ count_arg $ max_dim_arg $ fuzz_limit_arg $ no_solve_arg
+          $ verbose_arg)
 
 let lp_cmd =
   let run bench arch size contexts optimize =
@@ -790,8 +998,8 @@ let main =
   Cmd.group (Cmd.info "cgra_map" ~version:"1.0.0" ~doc)
     [
       map_cmd; explain_cmd; anneal_cmd; config_cmd; simulate_cmd; sweep_cmd; serve_cmd;
-      client_cmd; backends_cmd; benchmarks_cmd; archs_cmd; mrrg_dot_cmd; map_dot_cmd;
-      dfg_dot_cmd; adl_cmd; lp_cmd;
+      client_cmd; backends_cmd; benchmarks_cmd; archs_cmd; arch_cmd; fuzz_arch_cmd;
+      mrrg_dot_cmd; map_dot_cmd; dfg_dot_cmd; adl_cmd; lp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -24,9 +24,10 @@ let () =
         List.concat_map
           (fun topology ->
             List.map
-              (fun fu_mix -> { Library.rows = size; cols = size; topology; fu_mix })
+              (fun fu_mix ->
+                { Library.rows = size; cols = size; topology; fu_mix; route = Library.Direct })
               [ Library.Homogeneous; Library.Heterogeneous ])
-          [ Library.Orthogonal; Library.Diagonal ])
+          [ Library.Mesh; Library.King_mesh ])
       [ 3; 4 ]
   in
   Format.printf "kernel set: %s@.@." (String.concat ", " kernels);

@@ -160,9 +160,67 @@ let parse_prim = function
       print_sexp buf other;
       Error (Printf.sprintf "unknown primitive %s" (Buffer.contents buf))
 
+(* ---------------- generator configs ---------------- *)
+
+let config_sexp (c : Library.config) =
+  List
+    (Atom "arch-gen"
+    :: List [ Atom "rows"; Atom (string_of_int c.Library.rows) ]
+    :: List [ Atom "cols"; Atom (string_of_int c.Library.cols) ]
+    :: List [ Atom "topology"; Atom (Topology.to_string c.Library.topology) ]
+    :: List [ Atom "fu-mix"; Atom (Library.fu_mix_to_string c.Library.fu_mix) ]
+    ::
+    (match c.Library.route with
+    | Library.Direct -> []
+    | Library.Switchbox n -> [ List [ Atom "switchbox"; Atom (string_of_int n) ] ]))
+
+let config_to_string c =
+  let buf = Buffer.create 128 in
+  print_sexp buf (config_sexp c);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let parse_config items =
+  let rec go (c : Library.config) = function
+    | [] -> Ok c
+    | List [ Atom "rows"; v ] :: rest ->
+        Result.bind (parse_int "rows" v) (fun n -> go { c with Library.rows = n } rest)
+    | List [ Atom "cols"; v ] :: rest ->
+        Result.bind (parse_int "cols" v) (fun n -> go { c with Library.cols = n } rest)
+    | List [ Atom "topology"; Atom t ] :: rest -> (
+        match Topology.of_string t with
+        | Some topology -> go { c with Library.topology } rest
+        | None -> Error (Printf.sprintf "unknown topology %S" t))
+    | List [ Atom "fu-mix"; Atom m ] :: rest -> (
+        match Library.fu_mix_of_string m with
+        | Some fu_mix -> go { c with Library.fu_mix } rest
+        | None -> Error (Printf.sprintf "unknown fu-mix %S" m))
+    | List [ Atom "switchbox"; v ] :: rest ->
+        Result.bind (parse_int "switchbox" v) (fun n ->
+            go { c with Library.route = Library.Switchbox n } rest)
+    | other :: _ ->
+        let buf = Buffer.create 32 in
+        print_sexp buf other;
+        Error (Printf.sprintf "unknown arch-gen field %s" (Buffer.contents buf))
+  in
+  go Library.default items
+
+let config_of_string text =
+  match parse_sexps text with
+  | Error e -> Error e
+  | Ok [ List (Atom "arch-gen" :: items) ] -> parse_config items
+  | Ok _ -> Error "expected a single (arch-gen ...) form"
+
 let of_string text =
   match parse_sexps text with
   | Error e -> Error e
+  | Ok [ List (Atom "arch-gen" :: items) ] -> (
+      match parse_config items with
+      | Error e -> Error e
+      | Ok config -> (
+          match Library.make config with
+          | arch -> Ok arch
+          | exception Invalid_argument m -> Error m))
   | Ok [ List (Atom "arch" :: Atom name :: items) ] -> (
       let b = Arch.Builder.create ~name () in
       let rec go = function
@@ -189,4 +247,4 @@ let of_string text =
             Error (Printf.sprintf "unexpected form %s" (Buffer.contents buf))
       in
       go items)
-  | Ok _ -> Error "expected a single (arch <name> ...) form"
+  | Ok _ -> Error "expected a single (arch <name> ...) or (arch-gen ...) form"

@@ -5,6 +5,8 @@
     exchanged as text, then elaborated to an MRRG without touching
     OCaml code.
 
+    The primary form is an explicit netlist:
+
     {v
     ; comments run to end of line
     (arch my-cgra
@@ -13,10 +15,41 @@
       (inst r reg)
       (wire m.out f.in0)
       (wire f.out r.in))
-    v} *)
+    v}
+
+    A second, compact form describes a {!Library} grid by its
+    generator parameters instead of spelling out every instance; it is
+    what [cgra_map arch gen] emits:
+
+    {v
+    (arch-gen (rows 8) (cols 8) (topology torus) (fu-mix homo))
+    v}
+
+    Omitted [arch-gen] fields default to {!Library.default} (4×4 mesh,
+    homogeneous, direct routing); [(switchbox n)] selects EDGE-style
+    operand routing with [n] lanes.  [docs/ADL.md] is the full
+    reference manual for both forms. *)
 
 val to_string : Arch.t -> string
-(** Pretty-print an architecture in ADL syntax. *)
+(** Pretty-print an architecture as an [(arch ...)] netlist, one
+    instance or wire per line.  The output parses back with
+    {!of_string} to an equal architecture (same name, instances in
+    order, connections in order). *)
 
 val of_string : string -> (Arch.t, string) result
-(** Parse ADL text; errors carry a human-readable description. *)
+(** Parse ADL text — either an [(arch <name> ...)] netlist or an
+    [(arch-gen ...)] generator form, which is elaborated through
+    {!Library.make}.  Errors carry a human-readable description and
+    cover lexing (unbalanced parentheses), shape (unknown forms or
+    fields), and netlist validity (duplicate instance names, dangling
+    endpoints — the {!Arch.Builder} checks). *)
+
+val config_to_string : Library.config -> string
+(** Print a generator configuration as a single [(arch-gen ...)]
+    form.  Round-trips through {!config_of_string}. *)
+
+val config_of_string : string -> (Library.config, string) result
+(** Parse a single [(arch-gen ...)] form into a {!Library.config}
+    without elaborating it.  Unset fields default to
+    {!Library.default}; grid-size validation happens later in
+    {!Library.make}. *)

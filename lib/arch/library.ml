@@ -1,9 +1,16 @@
-type topology = Orthogonal | Diagonal
+type topology = Topology.t = Mesh | Torus | King_mesh | Diagonal_torus
 type fu_mix = Homogeneous | Heterogeneous
+type route_mix = Direct | Switchbox of int
 
-type config = { rows : int; cols : int; topology : topology; fu_mix : fu_mix }
+type config = {
+  rows : int;
+  cols : int;
+  topology : topology;
+  fu_mix : fu_mix;
+  route : route_mix;
+}
 
-let default = { rows = 4; cols = 4; topology = Orthogonal; fu_mix = Homogeneous }
+let default = { rows = 4; cols = 4; topology = Mesh; fu_mix = Homogeneous; route = Direct }
 
 let block name part = Printf.sprintf "b%s_%s" name part
 let block_name ~row ~col = Printf.sprintf "%d_%d" row col
@@ -18,9 +25,19 @@ let block_fu_out ~row ~col = { Arch.inst = block (block_name ~row ~col) "fu"; po
 let has_multiplier config ~row ~col =
   match config.fu_mix with Homogeneous -> true | Heterogeneous -> (row + col) mod 2 = 0
 
-let neighbour_offsets = function
-  | Orthogonal -> [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
-  | Diagonal -> [ (-1, 0); (1, 0); (0, -1); (0, 1); (-1, -1); (-1, 1); (1, -1); (1, 1) ]
+let topology_to_string = Topology.short
+let fu_mix_to_string = function Homogeneous -> "homo" | Heterogeneous -> "hetero"
+
+let fu_mix_of_string = function
+  | "homo" | "homogeneous" -> Some Homogeneous
+  | "hetero" | "heterogeneous" -> Some Heterogeneous
+  | _ -> None
+
+let name_of_config config =
+  Printf.sprintf "%s-%s-%dx%d%s" (fu_mix_to_string config.fu_mix)
+    (Topology.short config.topology)
+    config.rows config.cols
+    (match config.route with Direct -> "" | Switchbox n -> Printf.sprintf "-sb%d" n)
 
 (* I/O pads on the periphery: one per edge position.  Like the
    row-shared memory ports of Fig. 6, each pad is wired to the 32-bit
@@ -45,53 +62,60 @@ let pad_blocks config bus =
   | `Row r -> List.init config.cols (fun c -> (r, c))
   | `Col c -> List.init config.rows (fun r -> (r, c))
 
+(* The ordered list of sources feeding a block's input muxes:
+   neighbouring block outputs (per the interconnect topology, with
+   wrap-around links on the torus variants), the row memory port, the
+   block's own registered output (accumulator feedback), and the pads
+   whose bus covers this block. *)
+let mux_sources config ~row ~col =
+  let neighbours =
+    Topology.neighbours config.topology ~rows:config.rows ~cols:config.cols ~row ~col
+    |> List.map (fun (r, c) -> block_out ~row:r ~col:c)
+  in
+  let mem = { Arch.inst = Printf.sprintf "mem%d" row; port = "out" } in
+  let feedback = block_out ~row ~col in
+  let bus_pads =
+    List.filter_map
+      (fun (pad, bus) ->
+        if pad_covers config bus ~row ~col then Some { Arch.inst = pad; port = "out" }
+        else None)
+      (io_pads config)
+  in
+  neighbours @ [ mem; feedback ] @ bus_pads
+
+let mux_source_count config ~row ~col = List.length (mux_sources config ~row ~col)
+
 let make config =
   if config.rows < 1 || config.cols < 1 then invalid_arg "Library.make: empty grid";
-  let b =
-    Arch.Builder.create
-      ~name:
-        (Printf.sprintf "%s-%s-%dx%d"
-           (match config.fu_mix with Homogeneous -> "homo" | Heterogeneous -> "hetero")
-           (match config.topology with Orthogonal -> "orth" | Diagonal -> "diag")
-           config.rows config.cols)
-      ()
-  in
-  let in_bounds (r, c) = r >= 0 && r < config.rows && c >= 0 && c < config.cols in
+  (match config.route with
+  | Switchbox n when n < 1 -> invalid_arg "Library.make: switchbox needs at least one lane"
+  | _ -> ());
+  let b = Arch.Builder.create ~name:(name_of_config config) () in
   let pads = io_pads config in
-  (* The ordered list of sources feeding a block's input muxes:
-     neighbouring block outputs, the row memory port, the block's own
-     registered output (accumulator feedback), and the pads whose bus
-     covers this block. *)
-  let mux_sources ~row ~col =
-    let neighbours =
-      neighbour_offsets config.topology
-      |> List.filter_map (fun (dr, dc) ->
-             let r = row + dr and c = col + dc in
-             if in_bounds (r, c) then Some (block_out ~row:r ~col:c) else None)
-    in
-    let mem = { Arch.inst = Printf.sprintf "mem%d" row; port = "out" } in
-    let feedback = block_out ~row ~col in
-    let bus_pads =
-      List.filter_map
-        (fun (pad, bus) ->
-          if pad_covers config bus ~row ~col then Some { Arch.inst = pad; port = "out" }
-          else None)
-        pads
-    in
-    neighbours @ [ mem; feedback ] @ bus_pads
-  in
   (* blocks: two operand muxes feed the ALU; a bypass mux provides the
      block's route-through lane; the output register captures either
      the ALU result or the bypassed value, and drives the block's
-     single output bus *)
+     single output bus.  With switchbox routing the operand/bypass
+     muxes select among the tile's shared router lanes instead of the
+     full source list, capping the tile's operand bandwidth at the
+     lane count. *)
   for row = 0 to config.rows - 1 do
     for col = 0 to config.cols - 1 do
       let nm part = block (block_name ~row ~col) part in
-      let sources = mux_sources ~row ~col in
+      let sources = mux_sources config ~row ~col in
       let k = List.length sources in
-      Arch.Builder.add b (nm "mux_a") (Primitive.Multiplexer k);
-      Arch.Builder.add b (nm "mux_b") (Primitive.Multiplexer k);
-      Arch.Builder.add b (nm "mux_bp") (Primitive.Multiplexer k);
+      let operand_width =
+        match config.route with
+        | Direct -> k
+        | Switchbox lanes ->
+            for lane = 0 to lanes - 1 do
+              Arch.Builder.add b (nm (Printf.sprintf "sb%d" lane)) (Primitive.Multiplexer k)
+            done;
+            lanes
+      in
+      Arch.Builder.add b (nm "mux_a") (Primitive.Multiplexer operand_width);
+      Arch.Builder.add b (nm "mux_b") (Primitive.Multiplexer operand_width);
+      Arch.Builder.add b (nm "mux_bp") (Primitive.Multiplexer operand_width);
       Arch.Builder.add b (nm "reg_mux") (Primitive.Multiplexer 2);
       Arch.Builder.add b (nm "fu") (Primitive.alu ~with_mul:(has_multiplier config ~row ~col) ());
       Arch.Builder.add b (nm "reg") Primitive.Register;
@@ -149,30 +173,68 @@ let make config =
         ~src:{ Arch.inst = pad ^ "_imux"; port = "out" }
         ~dst:{ Arch.inst = pad; port = "in0" })
     pads;
-  (* operand/bypass mux input wiring *)
+  (* operand/bypass mux input wiring: either straight from the source
+     list (Direct) or through the tile's switchbox lanes *)
   for row = 0 to config.rows - 1 do
     for col = 0 to config.cols - 1 do
       let nm part = block (block_name ~row ~col) part in
-      List.iteri
-        (fun i src ->
-          let port = Printf.sprintf "in%d" i in
-          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_a"; port };
-          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_b"; port };
-          Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_bp"; port })
-        (mux_sources ~row ~col)
+      let wire_operands srcs =
+        List.iteri
+          (fun i src ->
+            let port = Printf.sprintf "in%d" i in
+            Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_a"; port };
+            Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_b"; port };
+            Arch.Builder.connect b ~src ~dst:{ Arch.inst = nm "mux_bp"; port })
+          srcs
+      in
+      let sources = mux_sources config ~row ~col in
+      match config.route with
+      | Direct -> wire_operands sources
+      | Switchbox lanes ->
+          for lane = 0 to lanes - 1 do
+            let sb = nm (Printf.sprintf "sb%d" lane) in
+            List.iteri
+              (fun i src ->
+                Arch.Builder.connect b ~src
+                  ~dst:{ Arch.inst = sb; port = Printf.sprintf "in%d" i })
+              sources
+          done;
+          wire_operands
+            (List.init lanes (fun lane ->
+                 { Arch.inst = nm (Printf.sprintf "sb%d" lane); port = "out" }))
     done
   done;
   Arch.Builder.freeze b
 
-let topology_to_string = function Orthogonal -> "orth" | Diagonal -> "diag"
-let fu_mix_to_string = function Homogeneous -> "homo" | Heterogeneous -> "hetero"
-
 let paper_configs ~size =
+  let cfg topology fu_mix = { rows = size; cols = size; topology; fu_mix; route = Direct } in
   [
-    ("hetero-orth", { rows = size; cols = size; topology = Orthogonal; fu_mix = Heterogeneous });
-    ("hetero-diag", { rows = size; cols = size; topology = Diagonal; fu_mix = Heterogeneous });
-    ("homo-orth", { rows = size; cols = size; topology = Orthogonal; fu_mix = Homogeneous });
-    ("homo-diag", { rows = size; cols = size; topology = Diagonal; fu_mix = Homogeneous });
+    ("hetero-orth", cfg Mesh Heterogeneous);
+    ("hetero-diag", cfg King_mesh Heterogeneous);
+    ("homo-orth", cfg Mesh Homogeneous);
+    ("homo-diag", cfg King_mesh Homogeneous);
   ]
 
 let find_config ~size name = List.assoc_opt name (paper_configs ~size)
+
+let gallery =
+  let cfg ?(route = Direct) ~n topology fu_mix = { rows = n; cols = n; topology; fu_mix; route } in
+  let presets =
+    [
+      cfg ~n:4 Torus Homogeneous;
+      cfg ~n:4 Diagonal_torus Heterogeneous;
+      cfg ~n:8 Mesh Homogeneous;
+      cfg ~n:8 Torus Homogeneous;
+      cfg ~n:8 Torus Heterogeneous;
+      cfg ~n:8 King_mesh Homogeneous;
+      cfg ~n:8 Diagonal_torus Homogeneous;
+      cfg ~n:8 ~route:(Switchbox 4) Torus Homogeneous;
+      cfg ~n:16 Torus Homogeneous;
+      cfg ~n:16 Diagonal_torus Heterogeneous;
+      cfg ~n:16 ~route:(Switchbox 4) Mesh Heterogeneous;
+    ]
+  in
+  List.map (fun (n, c) -> (Printf.sprintf "%s-4x4" n, c)) (paper_configs ~size:4)
+  @ List.map (fun c -> (name_of_config c, c)) presets
+
+let find_gallery name = List.assoc_opt name gallery

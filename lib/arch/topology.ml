@@ -1,0 +1,70 @@
+type t = Mesh | Torus | King_mesh | Diagonal_torus
+
+let all =
+  [ ("mesh", Mesh); ("torus", Torus); ("king-mesh", King_mesh); ("diagonal-torus", Diagonal_torus) ]
+
+let to_string = function
+  | Mesh -> "mesh"
+  | Torus -> "torus"
+  | King_mesh -> "king-mesh"
+  | Diagonal_torus -> "diagonal-torus"
+
+let of_string s =
+  match List.assoc_opt s all with
+  | Some t -> Some t
+  | None -> (
+      match s with
+      | "orth" | "orthogonal" -> Some Mesh
+      | "diag" | "diagonal" | "king" -> Some King_mesh
+      | "dtorus" | "diag-torus" -> Some Diagonal_torus
+      | _ -> None)
+
+let short = function
+  | Mesh -> "orth"
+  | Torus -> "torus"
+  | King_mesh -> "diag"
+  | Diagonal_torus -> "dtorus"
+
+let orthogonal_offsets = [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
+
+let king_offsets =
+  [ (-1, 0); (1, 0); (0, -1); (0, 1); (-1, -1); (-1, 1); (1, -1); (1, 1) ]
+
+let offsets = function
+  | Mesh | Torus -> orthogonal_offsets
+  | King_mesh | Diagonal_torus -> king_offsets
+
+let wraps = function Mesh | King_mesh -> false | Torus | Diagonal_torus -> true
+
+let wrapped = function
+  | Mesh | Torus -> Torus
+  | King_mesh | Diagonal_torus -> Diagonal_torus
+
+let neighbours t ~rows ~cols ~row ~col =
+  if rows < 1 || cols < 1 then
+    invalid_arg (Printf.sprintf "Topology.neighbours: %dx%d array" rows cols);
+  if row < 0 || row >= rows || col < 0 || col >= cols then
+    invalid_arg
+      (Printf.sprintf "Topology.neighbours: tile (%d,%d) outside %dx%d" row col rows cols);
+  let wrap = wraps t in
+  let fold n m = ((n mod m) + m) mod m in
+  let candidates =
+    List.filter_map
+      (fun (dr, dc) ->
+        let r = row + dr and c = col + dc in
+        if wrap then Some (fold r rows, fold c cols)
+        else if r >= 0 && r < rows && c >= 0 && c < cols then Some (r, c)
+        else None)
+      (offsets t)
+  in
+  (* A narrow torus folds distinct offsets onto one tile (or onto the
+     tile itself); keep the first occurrence of each neighbour. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun rc ->
+      if rc = (row, col) || Hashtbl.mem seen rc then false
+      else begin
+        Hashtbl.add seen rc ();
+        true
+      end)
+    candidates

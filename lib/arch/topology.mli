@@ -1,0 +1,64 @@
+(** Parametric interconnect topologies for grid CGRAs.
+
+    The paper's two Table-2 interconnects — orthogonal (N/S/E/W
+    neighbours) and diagonal (the king-move variant adding the four
+    diagonals) — generalise along two independent axes: the {e
+    neighbour stencil} (4 or 8 offsets) and {e wrap-around} (whether
+    edges of the array connect back to the opposite side, turning the
+    grid into a torus).  This module names the four combinations and
+    computes neighbour sets at arbitrary rectangular sizes, which is
+    all {!Library.make} needs to elaborate any of them:
+
+    - {!Mesh} — 4-neighbour stencil, no wrap (the paper's
+      ["orth"]);
+    - {!King_mesh} — 8-neighbour stencil, no wrap (the paper's
+      ["diag"]);
+    - {!Torus} — 4-neighbour stencil with wrap-around links;
+    - {!Diagonal_torus} — 8-neighbour stencil with wrap-around links.
+
+    Wrap-around links strictly {e add} connectivity: a torus contains
+    every mesh link, and a diagonal torus every king-mesh link.  The
+    architecture fuzzer leans on this ({e adding links never turns a
+    mappable kernel unmappable}) as a cheap end-to-end oracle. *)
+
+type t = Mesh | Torus | King_mesh | Diagonal_torus
+
+val all : (string * t) list
+(** Every topology under its canonical name (["mesh"], ["torus"],
+    ["king-mesh"], ["diagonal-torus"]), in that order. *)
+
+val to_string : t -> string
+(** The canonical name, accepted back by {!of_string}. *)
+
+val of_string : string -> t option
+(** Parses canonical names plus the historical aliases ["orth"]
+    (= {!Mesh}), ["diag"]/["king"] (= {!King_mesh}) and
+    ["dtorus"]/["diag-torus"] (= {!Diagonal_torus}). *)
+
+val short : t -> string
+(** Compact tag used inside generated architecture names: ["orth"],
+    ["torus"], ["diag"], ["dtorus"].  The mesh/king tags match the
+    names the paper architectures have always carried, so digests and
+    journals of pre-topology-module runs stay valid. *)
+
+val offsets : t -> (int * int) list
+(** The neighbour stencil as [(d_row, d_col)] offsets: 4 entries for
+    the orthogonal stencils, 8 for the king-move ones. *)
+
+val wraps : t -> bool
+(** Whether out-of-bounds offsets wrap to the opposite edge. *)
+
+val wrapped : t -> t
+(** The smallest topology that adds wrap-around links: {!Mesh} ↦
+    {!Torus}, {!King_mesh} ↦ {!Diagonal_torus}; wrapping topologies
+    map to themselves. *)
+
+val neighbours : t -> rows:int -> cols:int -> row:int -> col:int -> (int * int) list
+(** The distinct neighbour coordinates of tile [(row, col)] in a
+    [rows]×[cols] array: offsets are dropped when they fall outside a
+    non-wrapping array and reduced modulo the array size when the
+    topology wraps.  Duplicates (a 1-wide torus ring folding two
+    offsets onto the same tile) and the tile itself (wrap on a
+    1×1 array) are removed; order follows {!offsets}.
+    @raise Invalid_argument when [rows] or [cols] is not positive or
+    [(row, col)] is out of bounds. *)

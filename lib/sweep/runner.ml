@@ -62,9 +62,12 @@ let load_benchmark name =
 let load_arch ~size name =
   match Lib.find_config ~size name with
   | Some config -> Ok (Lib.make config)
-  | None ->
-      if Sys.file_exists name then Adl.of_string (read_file name)
-      else Error (Printf.sprintf "unknown architecture %S" name)
+  | None -> (
+      match Lib.find_gallery name with
+      | Some config -> Ok (Lib.make config)
+      | None ->
+          if Sys.file_exists name then Adl.of_string (read_file name)
+          else Error (Printf.sprintf "unknown architecture %S" name))
 
 (* Every invocation elaborates its own DFG/arch/MRRG so that racing
    variants share no mutable structure at all — elaboration is

@@ -2,7 +2,7 @@ module Lib = Cgra_arch.Library
 module A = Cgra_core.Anneal
 
 let () =
-  let diag = { Lib.default with Lib.topology = Lib.Diagonal } in
+  let diag = { Lib.default with Lib.topology = Lib.King_mesh } in
   let arch = Lib.make diag in
   let mrrg = Cgra_mrrg.Build.elaborate arch ~ii:1 in
   let dfg = Cgra_dfg.Benchmarks.add_16 () in

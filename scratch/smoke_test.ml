@@ -10,7 +10,7 @@ let t name config ii secs =
 let () =
   let d = Lib.default in
   let het = { d with Lib.fu_mix = Lib.Heterogeneous } in
-  let diag = { d with Lib.topology = Lib.Diagonal } in
+  let diag = { d with Lib.topology = Lib.King_mesh } in
   (* discriminator set: expected (paper): 1,1,1,1 then 0,0,0, then 1, then 0, then 1 *)
   t "2x2-f" het 1 90.;
   t "accum" het 1 90.;

@@ -28,8 +28,8 @@ let tiny_add_dfg () =
   Dfg.Builder.connect b ~src:s ~dst:o ~operand:0;
   Dfg.Builder.freeze b
 
-let grid ?(topology = Library.Orthogonal) ?(fu_mix = Library.Homogeneous) n =
-  Library.make { Library.rows = n; cols = n; topology; fu_mix }
+let grid ?(topology = Library.Mesh) ?(fu_mix = Library.Homogeneous) n =
+  Library.make { Library.rows = n; cols = n; topology; fu_mix; route = Library.Direct }
 
 let mrrg_of ?topology ?fu_mix ~ii n = Build.elaborate (grid ?topology ?fu_mix n) ~ii
 

@@ -1,0 +1,156 @@
+module Library = Cgra_arch.Library
+module Topology = Cgra_arch.Topology
+module Build = Cgra_mrrg.Build
+module Mrrg = Cgra_mrrg.Mrrg
+module Fuzz = Cgra_fuzz.Fuzz
+
+(* ---------------- determinism and replay ---------------- *)
+
+let test_sample_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Fuzz.sample_of_seed ~seed () and b = Fuzz.sample_of_seed ~seed () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d replays" seed)
+        (Fuzz.sample_to_string a) (Fuzz.sample_to_string b);
+      Alcotest.(check int) "seed recorded" seed a.Fuzz.seed)
+    [ 0; 1; 17; 123456 ]
+
+let test_sample_to_string_mentions_arch_gen () =
+  let s = Fuzz.sample_of_seed ~seed:3 () in
+  let str = Fuzz.sample_to_string s in
+  Alcotest.(check bool) "prints the compact form" true
+    (Astring.String.is_infix ~affix:"(arch-gen" str)
+
+(* ---------------- seeded runs find no violations ---------------- *)
+
+let test_structural_run_clean () =
+  let report = Fuzz.run ~solve:false ~max_dim:3 ~seed:11 ~count:20 () in
+  Alcotest.(check int) "samples" 20 report.Fuzz.samples;
+  Alcotest.(check bool) "checks counted" true (report.Fuzz.checks >= 20 * 6);
+  (match report.Fuzz.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "unexpected violation %s on %s: %s" v.Fuzz.invariant
+        (Fuzz.sample_to_string v.Fuzz.sample)
+        v.Fuzz.detail);
+  (* the same seed re-runs to the same report *)
+  let report' = Fuzz.run ~solve:false ~max_dim:3 ~seed:11 ~count:20 () in
+  Alcotest.(check int) "deterministic checks" report.Fuzz.checks report'.Fuzz.checks
+
+let test_solver_run_clean () =
+  (* a short solver-backed run: mapped-check, wrap-monotone and
+     journal-roundtrip on tiny grids *)
+  let report = Fuzz.run ~solve:true ~limit:5.0 ~max_dim:2 ~seed:5 ~count:4 () in
+  Alcotest.(check int) "samples" 4 report.Fuzz.samples;
+  match report.Fuzz.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "unexpected violation %s on %s: %s" v.Fuzz.invariant
+        (Fuzz.sample_to_string v.Fuzz.sample)
+        v.Fuzz.detail
+
+let test_check_flags_planted_bug () =
+  (* a sample whose config the generator could never produce still
+     checks cleanly; a genuinely broken config is rejected by make,
+     which check must report as arch-valid rather than crash *)
+  let sample = Fuzz.sample_of_seed ~seed:2 () in
+  let broken =
+    { sample with Fuzz.config = { sample.Fuzz.config with Library.rows = 0 } }
+  in
+  match Fuzz.check ~solve:false broken with
+  | [] -> Alcotest.fail "rows=0 must not check clean"
+  | (invariant, _) :: _ -> Alcotest.(check string) "reported as" "arch-valid" invariant
+
+(* ---------------- shrinking ---------------- *)
+
+let test_shrink_reaches_fixpoint () =
+  let start =
+    {
+      Fuzz.seed = 99;
+      config =
+        {
+          Library.rows = 3;
+          cols = 3;
+          topology = Library.Diagonal_torus;
+          fu_mix = Library.Heterogeneous;
+          route = Library.Switchbox 3;
+        };
+      ii = 2;
+      kernel = Fuzz.Random 7;
+    }
+  in
+  (* pretend the bug needs at least two rows *)
+  let still_failing (s : Fuzz.sample) = s.Fuzz.config.Library.rows >= 2 in
+  let shrunk = Fuzz.shrink ~still_failing start in
+  Alcotest.(check bool) "still failing" true (still_failing shrunk);
+  Alcotest.(check int) "rows minimised" 2 shrunk.Fuzz.config.Library.rows;
+  Alcotest.(check int) "cols minimised" 1 shrunk.Fuzz.config.Library.cols;
+  Alcotest.(check bool) "topology simplified" true
+    (shrunk.Fuzz.config.Library.topology = Library.Mesh);
+  Alcotest.(check bool) "routing simplified" true
+    (shrunk.Fuzz.config.Library.route = Library.Direct);
+  Alcotest.(check int) "contexts minimised" 1 shrunk.Fuzz.ii;
+  Alcotest.(check int) "seed preserved for replay" 99 shrunk.Fuzz.seed
+
+(* ---------------- mesh is contained in torus ---------------- *)
+
+(* Routability property behind the wrap-monotone invariant, checked
+   structurally: every FU operand reachable from a block output in the
+   mesh MRRG stays reachable in the wrapped (torus) MRRG.  Wrap links
+   only ever add routes. *)
+let mesh_subset_of_torus (config : Library.config) =
+  let wrapped = Topology.wrapped config.Library.topology in
+  let mesh = Build.elaborate (Library.make config) ~ii:1 in
+  let torus =
+    Build.elaborate (Library.make { config with Library.topology = wrapped }) ~ii:1
+  in
+  let src_name = "c0." ^ (Library.block_out ~row:0 ~col:0).Cgra_arch.Arch.inst ^ ".out" in
+  let id m name =
+    match Mrrg.find m name with
+    | Some i -> i
+    | None -> Alcotest.failf "no MRRG node %s" name
+  in
+  let reach_mesh = Mrrg.reachable mesh ~from:(id mesh src_name) in
+  let reach_torus = Mrrg.reachable torus ~from:(id torus src_name) in
+  List.for_all
+    (fun (n : Mrrg.node) ->
+      (* operand nodes exist under the same name in both MRRGs even
+         though torus muxes are wider *)
+      match n.Mrrg.operand with
+      | None -> true
+      | Some _ ->
+          (not reach_mesh.(n.Mrrg.id)) || reach_torus.(id torus n.Mrrg.name))
+    (Mrrg.nodes mesh)
+
+let qcheck_mesh_subset_torus =
+  QCheck.Test.make ~name:"mesh routability is contained in torus" ~count:20
+    (Fuzz.arbitrary_config ~max_dim:3 ())
+    (fun config ->
+      (* normalise to the unwrapped topology so the pair differs only
+         in wrap links *)
+      let base =
+        match config.Library.topology with
+        | Library.Torus -> { config with Library.topology = Library.Mesh }
+        | Library.Diagonal_torus -> { config with Library.topology = Library.King_mesh }
+        | Library.Mesh | Library.King_mesh -> config
+      in
+      mesh_subset_of_torus base)
+
+let suites =
+  [
+    ( "fuzz:samples",
+      [
+        Alcotest.test_case "deterministic from seed" `Quick test_sample_deterministic;
+        Alcotest.test_case "replay rendering" `Quick test_sample_to_string_mentions_arch_gen;
+        Alcotest.test_case "broken config reported" `Quick test_check_flags_planted_bug;
+      ] );
+    ( "fuzz:runs",
+      [
+        Alcotest.test_case "structural invariants hold" `Quick test_structural_run_clean;
+        Alcotest.test_case "solver invariants hold" `Slow test_solver_run_clean;
+      ] );
+    ("fuzz:shrink", [ Alcotest.test_case "greedy fixpoint" `Quick test_shrink_reaches_fixpoint ]);
+    ( "fuzz:properties",
+      [ QCheck_alcotest.to_alcotest ~long:false qcheck_mesh_subset_torus ] );
+  ]

@@ -19,7 +19,7 @@ module Lit = Cgra_satoca.Lit
 module Rng = Cgra_util.Rng
 module Deadline = Cgra_util.Deadline
 
-let grid ?(topology = Library.Orthogonal) n =
+let grid ?(topology = Library.Mesh) n =
   Library.make { Library.default with Library.rows = n; cols = n; topology }
 
 (* ---------------- formulation variants ---------------- *)

@@ -184,6 +184,126 @@ let test_mrrg_dot () =
      let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
      go 0)
 
+(* ---------------- generated topologies ---------------- *)
+
+(* Pinned sizes for the torus elaboration.  On a 2-wide axis the wrap
+   link folds onto the existing mesh link (the generator dedups), so a
+   2x2 torus elaborates to exactly the 2x2 mesh MRRG; on a 3-wide axis
+   the wraps are new links and only add edges. *)
+let test_torus_2x2_pinned () =
+  let make topology =
+    Library.make { Library.default with Library.rows = 2; cols = 2; topology }
+  in
+  let torus = Build.elaborate (make Library.Torus) ~ii:1 in
+  Alcotest.(check int) "nodes" 240 (Mrrg.n_nodes torus);
+  Alcotest.(check int) "edges" 346 (Mrrg.n_edges torus);
+  Alcotest.(check bool) "validates" true (Mrrg.validate torus = Ok ());
+  let mesh = Build.elaborate (make Library.Mesh) ~ii:1 in
+  Alcotest.(check int) "degenerate wrap: same nodes" (Mrrg.n_nodes mesh) (Mrrg.n_nodes torus);
+  Alcotest.(check int) "degenerate wrap: same edges" (Mrrg.n_edges mesh) (Mrrg.n_edges torus);
+  (* contexts replicate the whole structure *)
+  let torus2 = Build.elaborate (make Library.Torus) ~ii:2 in
+  Alcotest.(check int) "ii=2 nodes" 480 (Mrrg.n_nodes torus2);
+  Alcotest.(check int) "ii=2 edges" 692 (Mrrg.n_edges torus2)
+
+let test_torus_2x3_adds_wrap_edges () =
+  let make topology =
+    Library.make { Library.default with Library.rows = 2; cols = 3; topology }
+  in
+  let mesh = Build.elaborate (make Library.Mesh) ~ii:1 in
+  let torus = Build.elaborate (make Library.Torus) ~ii:1 in
+  Alcotest.(check int) "mesh nodes" 348 (Mrrg.n_nodes mesh);
+  Alcotest.(check int) "mesh edges" 516 (Mrrg.n_edges mesh);
+  (* the 3-wide axis wraps: two new links per row, each landing on a
+     now-wider operand/bypass mux (one extra input node per mux) *)
+  Alcotest.(check int) "torus nodes" 360 (Mrrg.n_nodes torus);
+  Alcotest.(check int) "torus edges" 540 (Mrrg.n_edges torus);
+  (* the wrap link is a direct MRRG edge: the end-of-row block output
+     fans out into a first-column mux of the same row *)
+  let out = id torus "c0.b0_2_reg.out" in
+  let feeds_first_col =
+    List.exists
+      (fun dst ->
+        let n = Mrrg.node torus dst in
+        Astring.String.is_prefix ~affix:"c0.b0_0_" n.Mrrg.name)
+      (Mrrg.fanouts torus out)
+  in
+  Alcotest.(check bool) "wrap edge present" true feeds_first_col;
+  let out_mesh = id mesh "c0.b0_2_reg.out" in
+  let feeds_first_col_mesh =
+    List.exists
+      (fun dst ->
+        let n = Mrrg.node mesh dst in
+        Astring.String.is_prefix ~affix:"c0.b0_0_" n.Mrrg.name)
+      (Mrrg.fanouts mesh out_mesh)
+  in
+  Alcotest.(check bool) "no wrap edge in mesh" false feeds_first_col_mesh
+
+(* A crafted two-tile-type array: one multiplying tile, one plain
+   adder tile, sharing an input mux.  Pins the elaboration size and
+   checks capability filtering lands on the right Func nodes. *)
+let test_two_tile_type_array () =
+  let b = Arch.Builder.create ~name:"two-tile" () in
+  Arch.Builder.add b "m" (Primitive.Multiplexer 2);
+  Arch.Builder.add b "f_mul"
+    (Primitive.Func_unit
+       { Primitive.supported = [ Op.Add; Op.Mul ]; n_inputs = 2; latency = 0;
+         initiation_interval = 1 });
+  Arch.Builder.add b "f_add"
+    (Primitive.Func_unit
+       { Primitive.supported = [ Op.Add ]; n_inputs = 2; latency = 0; initiation_interval = 1 });
+  List.iter
+    (fun (inst, port) -> Arch.Builder.connect b ~src:(ep "m" "out") ~dst:(ep inst port))
+    [ ("f_mul", "in0"); ("f_mul", "in1"); ("f_add", "in0"); ("f_add", "in1") ];
+  let a = Arch.Builder.freeze b in
+  let m = Build.elaborate a ~ii:1 in
+  (* mux 2 -> 4 nodes, each fu -> 4 nodes *)
+  Alcotest.(check int) "nodes" 12 (Mrrg.n_nodes m);
+  (* mux 3 internal + 3 per fu + 4 wires *)
+  Alcotest.(check int) "edges" 13 (Mrrg.n_edges m);
+  Alcotest.(check bool) "validates" true (Mrrg.validate m = Ok ());
+  Alcotest.(check int) "two func slots" 2 (List.length (Mrrg.func_units m));
+  Alcotest.(check bool) "mul tile muls" true (Mrrg.supports m (id m "c0.f_mul.fu") Op.Mul);
+  Alcotest.(check bool) "add tile no mul" false (Mrrg.supports m (id m "c0.f_add.fu") Op.Mul);
+  Alcotest.(check bool) "add tile adds" true (Mrrg.supports m (id m "c0.f_add.fu") Op.Add)
+
+let test_heterogeneous_2x2_checkerboard () =
+  let a =
+    Library.make
+      { Library.default with Library.rows = 2; cols = 2; fu_mix = Library.Heterogeneous }
+  in
+  let m = Build.elaborate a ~ii:1 in
+  let fu ~row ~col = id m (Printf.sprintf "c0.%s.fu" (Library.block_fu ~row ~col)) in
+  List.iter
+    (fun (row, col, muls) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d) mul=%b" row col muls)
+        muls
+        (Mrrg.supports m (fu ~row ~col) Op.Mul);
+      Alcotest.(check bool) (Printf.sprintf "(%d,%d) adds" row col) true
+        (Mrrg.supports m (fu ~row ~col) Op.Add))
+    [ (0, 0, true); (0, 1, false); (1, 0, false); (1, 1, true) ];
+  (* capability filtering never changes the graph shape: same counts
+     as the homogeneous array *)
+  let homo =
+    Build.elaborate (Library.make { Library.default with Library.rows = 2; cols = 2 }) ~ii:1
+  in
+  Alcotest.(check int) "same nodes" (Mrrg.n_nodes homo) (Mrrg.n_nodes m);
+  Alcotest.(check int) "same edges" (Mrrg.n_edges homo) (Mrrg.n_edges m)
+
+let test_elaborate_profiled () =
+  let a = Library.make { Library.default with Library.rows = 2; cols = 2 } in
+  let m, profile = Build.elaborate_profiled a ~ii:1 in
+  Alcotest.(check int) "profile nodes" (Mrrg.n_nodes m) profile.Build.n_nodes;
+  Alcotest.(check int) "profile edges" (Mrrg.n_edges m) profile.Build.n_edges;
+  Alcotest.(check bool) "phases sum below total" true
+    (profile.Build.instance_seconds +. profile.Build.wire_seconds
+    <= profile.Build.total_seconds +. 1e-9);
+  Alcotest.(check bool) "total positive" true (profile.Build.total_seconds >= 0.0);
+  (* the unprofiled entry point elaborates the same graph *)
+  let m' = Build.elaborate a ~ii:1 in
+  Alcotest.(check int) "same graph" (Mrrg.n_nodes m') (Mrrg.n_nodes m)
+
 let suites =
   [
     ( "mrrg:fig1",
@@ -205,5 +325,13 @@ let suites =
         Alcotest.test_case "reachability" `Quick test_reachability;
         Alcotest.test_case "builder errors" `Quick test_mrrg_builder_errors;
         Alcotest.test_case "dot export" `Quick test_mrrg_dot;
+      ] );
+    ( "mrrg:generated",
+      [
+        Alcotest.test_case "2x2 torus pinned" `Quick test_torus_2x2_pinned;
+        Alcotest.test_case "2x3 torus wrap edges" `Quick test_torus_2x3_adds_wrap_edges;
+        Alcotest.test_case "two tile types" `Quick test_two_tile_type_array;
+        Alcotest.test_case "hetero checkerboard" `Quick test_heterogeneous_2x2_checkerboard;
+        Alcotest.test_case "profiled elaboration" `Quick test_elaborate_profiled;
       ] );
   ]
