@@ -43,6 +43,25 @@ val candidates : Dfg.t -> Mrrg.t -> int -> int list
 (** Functional-unit nodes able to host a DFG operation (constraint (3)
     by construction).  Shared with the annealing mapper. *)
 
+type profile = {
+  placement_seconds : float;
+      (** variables and rows for constraints (1)–(3) *)
+  corridor_seconds : float;
+      (** forward-cone and per-sink corridor closures (graph traversal
+          only, no row emission) *)
+  routing_seconds : float;
+      (** rows for constraints (5)–(9), corridor time excluded *)
+  exclusivity_seconds : float;
+      (** constraint (4) and the objective *)
+  total_seconds : float;
+}
+(** Wall-clock phase split of one model construction. *)
+
+val profile_fields : profile -> (string * float) list
+(** The profile as labelled seconds, in emission order
+    ([placement]; [corridors]; [routing_rows]; [exclusivity]; [total])
+    — the shape journaled by benchmarks and serve provenance. *)
+
 val build :
   ?objective:objective ->
   ?prune:bool ->
@@ -62,6 +81,35 @@ val build :
       sink's operand port;
     - [backward_continuity]: require every used corridor node to have a
       used predecessor (the dual of constraint (5)). *)
+
+val build_profiled :
+  ?objective:objective ->
+  ?prune:bool ->
+  ?anchor_sinks:bool ->
+  ?backward_continuity:bool ->
+  Dfg.t ->
+  Mrrg.t ->
+  t * profile
+(** {!build} plus its phase timings.  This is the implementation;
+    [build] is [fst ∘ build_profiled].  The builder is corridor-sparse:
+    instead of scanning every MRRG node per sink, it iterates packed
+    {!Cgra_mrrg.Mrrg.corridor} bitsets, memoizes forward cones by
+    producer-candidate set, and defers variable/row name rendering
+    until something (LP export, explain, validation) asks for them. *)
+
+val build_reference :
+  ?objective:objective ->
+  ?prune:bool ->
+  ?anchor_sinks:bool ->
+  ?backward_continuity:bool ->
+  Dfg.t ->
+  Mrrg.t ->
+  t
+(** The pre-optimization dense-scan builder, retained verbatim as the
+    differential-testing oracle: for every input it must produce a
+    model whose LP rendering is byte-identical to {!build}'s.  The
+    formulation-differential fuzz invariant and the equivalence tests
+    enforce this; do not optimise it. *)
 
 (** {1 Constraint groups}
 

@@ -20,6 +20,7 @@ type info = {
   size : Formulation.size;
   solve_seconds : float;
   build_seconds : float;
+  build_phases : (string * float) list;
   objective_value : int option;
   proven_optimal : bool;
   sat_calls : int;
@@ -117,13 +118,14 @@ let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
    Infeasible verdict is the external solver's word — uncertified, and
    exactly what [sweep --cross-check] exists to diff. *)
 let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulation.t)
-    ~build_seconds =
+    ~build_seconds ~build_phases =
   let report = b.Backend.solve ?deadline f.Formulation.model in
   let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
     {
       size = Formulation.size f;
       solve_seconds = report.Backend.wall_seconds;
       build_seconds;
+      build_phases;
       objective_value;
       proven_optimal;
       sat_calls = 0;
@@ -198,7 +200,8 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
     | d, _ -> d
   in
   let t0 = Deadline.now () in
-  let f = Formulation.build ~objective ?prune dfg mrrg in
+  let f, profile = Formulation.build_profiled ~objective ?prune dfg mrrg in
+  let build_phases = Formulation.profile_fields profile in
   (* phase hints mean nothing to a subprocess solver *)
   let warm_start = if external_backend <> None then 0.0 else warm_start in
   if warm_start > 0.0 then begin
@@ -211,7 +214,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
   end;
   let build_seconds = Deadline.elapsed_of ~start:t0 in
   match external_backend with
-  | Some b -> solve_external ?deadline ~objective ~explain b f ~build_seconds
+  | Some b -> solve_external ?deadline ~objective ~explain b f ~build_seconds ~build_phases
   | None ->
   let proof = if certify then Some (Proof.create ()) else None in
   let report = Solve.solve_report ?deadline ?engine ?proof ?inprocess f.Formulation.model in
@@ -221,6 +224,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
       size = Formulation.size f;
       solve_seconds = report.Solve.solve_seconds;
       build_seconds;
+      build_phases;
       objective_value;
       proven_optimal;
       sat_calls = report.Solve.sat_calls;

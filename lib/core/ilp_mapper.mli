@@ -32,6 +32,12 @@ type info = {
   size : Formulation.size;
   solve_seconds : float;
   build_seconds : float;
+  build_phases : (string * float) list;
+      (** {!Formulation.profile_fields} of the model construction:
+          labelled wall-clock seconds per encode phase ([placement],
+          [corridors], [routing_rows], [exclusivity], [total]).
+          [build_seconds] additionally includes the warm-start attempt;
+          [build_phases] is the formulation alone. *)
   objective_value : int option;  (** routing cost when optimising *)
   proven_optimal : bool;
   sat_calls : int;               (** SAT invocations; 0 for non-SAT engines *)

@@ -12,6 +12,8 @@ module Mrrg = Cgra_mrrg.Mrrg
 module Build = Cgra_mrrg.Build
 module IM = Cgra_core.Ilp_mapper
 module Check = Cgra_core.Check
+module Formulation = Cgra_core.Formulation
+module Lp_format = Cgra_ilp.Lp_format
 module Job = Cgra_sweep.Job
 module Record = Cgra_sweep.Record
 
@@ -256,6 +258,19 @@ let check_solve sample ~limit =
     let mrrg = Build.elaborate (Library.make config) ~ii:sample.ii in
     IM.map ~deadline:(Deadline.after ~seconds:limit) ~warm_start:0.0 dfg mrrg
   in
+  (* differential: the corridor-sparse builder and the retained dense
+     reference scan must produce byte-identical LP renderings — same
+     variables, same rows, same order (see Formulation.build_reference) *)
+  (let mrrg = Build.elaborate (Library.make sample.config) ~ii:sample.ii in
+   let render (f : Formulation.t) = Lp_format.to_string f.Formulation.model in
+   let optimized = render (Formulation.build ~objective:Formulation.Min_routing dfg mrrg) in
+   let reference =
+     render (Formulation.build_reference ~objective:Formulation.Min_routing dfg mrrg)
+   in
+   if optimized <> reference then
+     fail "formulation-differential"
+       (Printf.sprintf "optimized and reference builders disagree on %s"
+          (Library.name_of_config sample.config)));
   let result = map sample.config in
   (match result with
   | IM.Mapped (m, _) -> (
@@ -319,8 +334,8 @@ let rec shrink ~still_failing s =
 
 (* ---------------- the driver ---------------- *)
 
-(* Per sample: 6 structural invariants, plus 3 solver-backed ones. *)
-let checks_per_sample ~solve = if solve then 9 else 6
+(* Per sample: 6 structural invariants, plus 4 solver-backed ones. *)
+let checks_per_sample ~solve = if solve then 10 else 6
 
 let run ?(solve = true) ?(limit = 5.0) ?(max_dim = 3) ?progress ~seed ~count () =
   let violations = ref [] in

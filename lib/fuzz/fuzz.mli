@@ -17,6 +17,10 @@
     - {b mrrg-valid}, {b mrrg-symmetry}, {b mrrg-connected} — MRRG
       invariants: paper-model checks, fanin/fanout adjacency
       symmetry, no isolated nodes;
+    - {b formulation-differential} — the corridor-sparse
+      {!Cgra_core.Formulation.build} and the dense
+      {!Cgra_core.Formulation.build_reference} oracle produce
+      byte-identical LP renderings of the sample's model;
     - {b mapped-check} — a [Mapped] verdict's mapping is re-accepted
       by the independent {!Cgra_core.Check};
     - {b wrap-monotone} — adding wrap-around links never turns

@@ -66,7 +66,7 @@ let encode_block solver ~base model =
     if base = 0 then row
     else { row with Model.terms = List.map (fun (c, v) -> (c, base + v)) row.Model.terms }
   in
-  List.iter (fun row -> encode_row solver (shift row)) (Model.rows model)
+  Model.iter_rows model (fun _ row -> encode_row solver (shift row))
 
 (* Seed polarities from the model's phase hints by trial propagation,
    so auxiliary encoding variables also receive phases consistent
@@ -148,12 +148,11 @@ let encode_grouped model =
         (g, l))
       (Model.groups model)
   in
-  List.iter
-    (fun (row : Model.row) ->
+  Model.iter_rows model
+    (fun _ (row : Model.row) ->
       (match row.Model.group with
       | None -> Solver.set_guard solver None
       | Some g -> Solver.set_guard solver (Some (Lit.negate (Hashtbl.find sel g))));
-      encode_row solver row)
-    (Model.rows model);
+      encode_row solver row);
   Solver.set_guard solver None;
   { g_solver = solver; selectors }

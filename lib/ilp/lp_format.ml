@@ -62,7 +62,7 @@ let append_terms buf names terms =
 let to_string model =
   let names = external_names model in
   let row_names =
-    unique_names (Array.of_list (List.map (fun (r : Model.row) -> r.name) (Model.rows model)))
+    unique_names (Array.init (Model.nrows model) (Model.row_name model))
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "\\ Problem: %s\n" (Model.name model));
@@ -71,13 +71,12 @@ let to_string model =
   | Model.Feasibility -> Buffer.add_string buf " 0"
   | Model.Minimize terms -> append_terms buf names terms);
   Buffer.add_string buf "\nSubject To\n";
-  List.iteri
+  Model.iter_rows model
     (fun i (r : Model.row) ->
       Buffer.add_string buf (Printf.sprintf " %s:" row_names.(i));
       append_terms buf names r.terms;
       let op = match r.sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=" in
-      Buffer.add_string buf (Printf.sprintf " %s %d\n" op r.rhs))
-    (Model.rows model);
+      Buffer.add_string buf (Printf.sprintf " %s %d\n" op r.rhs));
   Buffer.add_string buf "Binary\n";
   Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf " %s\n" n)) names;
   Buffer.add_string buf "End\n";

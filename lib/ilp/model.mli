@@ -4,7 +4,13 @@
     integer coefficients, so the model is deliberately specialised:
     every variable is binary, and constraints are integer linear rows
     with a sense.  Models are built imperatively and then handed to
-    {!Solve} (or exported through {!Lp_format}). *)
+    {!Solve} (or exported through {!Lp_format}).
+
+    Names exist for humans — LP export, unsat cores, diagnostics — and
+    the solving engines never read them, so the build hot path can
+    defer rendering: {!add_binary_deferred} and {!add_row}'s [dname]
+    store a thunk that is forced (once, cached) only when {!var_name},
+    {!row_name} or {!find_var} actually asks for the spelling. *)
 
 type t
 
@@ -18,7 +24,6 @@ type term = int * var
 (** [coeff * variable]. *)
 
 type row = {
-  name : string;
   group : string option;
       (** constraint-group label for unsat-core extraction ([None] =
           hard background constraint, never reported in a core) *)
@@ -26,6 +31,8 @@ type row = {
   sense : sense;
   rhs : int;
 }
+(** Row names are not stored in the record; ask {!row_name} for the
+    (on-demand rendered) name of row [i]. *)
 
 type objective =
   | Feasibility           (** no objective: any feasible point is optimal *)
@@ -39,30 +46,76 @@ val name : t -> string
 
 val add_binary : t -> string -> var
 (** Add a fresh binary variable.  Names must be unique and non-empty
-    (they become LP-file identifiers). *)
+    (they become LP-file identifiers).
+    @raise Invalid_argument on a duplicate or empty name. *)
+
+val add_binary_deferred : t -> (unit -> string) -> var
+(** Add a fresh binary variable whose name is rendered on first use.
+    Uniqueness of deferred names is the caller's obligation; it is
+    checked by {!validate}, not at add time (checking here would force
+    the very rendering this call exists to avoid). *)
 
 val nvars : t -> int
 (** Number of variables added so far. *)
 
 val var_name : t -> var -> string
-(** The name a variable was created with.
+(** The name a variable was created with (rendering and caching it
+    first if it was deferred).
     @raise Invalid_argument on an out-of-range index. *)
 
 val find_var : t -> string -> var option
-(** Look a variable up by name. *)
+(** Look a variable up by name (forces any still-deferred names). *)
 
-val add_row : t -> ?name:string -> ?group:string -> term list -> sense -> int -> unit
+val add_row : t -> ?name:string -> ?dname:(unit -> string) -> ?group:string ->
+  term list -> sense -> int -> unit
 (** Add a constraint row.  Terms on the same variable are merged;
-    zero-coefficient terms are dropped.  [group] tags the row with a
-    named constraint group (e.g. [place:op7]): {!Unsat_core} reports
-    infeasibility cores as sets of group labels, so groups should be
-    the human-meaningful units of blame.  Rows without a group are
-    {e hard} — always enforced, never blamed.
+    zero-coefficient terms are dropped.  [name] (or the deferred
+    [dname], rendered on first {!row_name}; [name] wins when both are
+    given) labels the row — unnamed rows render as ["c<index>"].
+    [group] tags the row with a named constraint group (e.g.
+    [place:op7]): {!Unsat_core} reports infeasibility cores as sets of
+    group labels, so groups should be the human-meaningful units of
+    blame.  Rows without a group are {e hard} — always enforced, never
+    blamed.
     @raise Invalid_argument on unknown variables or an empty group
     label. *)
 
+(** {2 Zero-allocation row emission}
+
+    The builder's hot path ([Formulation.build_profiled]) emits rows
+    directly into the model's flat term storage instead of constructing
+    a term list per row: [begin_row] opens a row, [term] appends one
+    coefficient–variable pair, [end_row] canonicalizes the stored
+    segment in place (sort by variable, merge duplicates, drop zeros —
+    exactly {!add_row}'s normal form) and seals the row.  {!add_row} is
+    itself implemented on top of these. *)
+
+val begin_row :
+  t -> ?name:string -> ?dname:(unit -> string) -> ?group:string -> sense -> int -> unit
+(** Open a row.  @raise Invalid_argument if a row is already open or
+    the group label is empty. *)
+
+val term : t -> int -> var -> unit
+(** Append one term to the open row.
+    @raise Invalid_argument on an unknown variable or no open row. *)
+
+val end_row : t -> unit
+(** Canonicalize and seal the open row.
+    @raise Invalid_argument if no row is open. *)
+
+val add_row2 : t -> ?group:string -> int -> var -> int -> var -> sense -> int -> unit
+(** [add_row2 t c1 v1 c2 v2 sense rhs] adds the unnamed two-term row
+    [c1*v1 + c2*v2 sense rhs] — the dominant row shape of mapping
+    formulations — without opening a row builder.  Equivalent to
+    [add_row t [(c1,v1); (c2,v2)] sense rhs]. *)
+
+val row_name : t -> int -> string
+(** Name of row [i] in insertion order (["c<i>"] for unnamed rows).
+    @raise Invalid_argument on an out-of-range index. *)
+
 val groups : t -> string list
-(** Distinct group labels in first-use order. *)
+(** Distinct group labels in first-use order (single pass over the
+    stored rows). *)
 
 val set_branch_priority : t -> var -> float -> unit
 (** Branching hint forwarded to the solving engines: variables with
@@ -85,7 +138,16 @@ val objective : t -> objective
 (** The current objective. *)
 
 val rows : t -> row list
-(** All rows, in insertion order. *)
+(** All rows, in insertion order (freshly allocated list; prefer
+    {!iter_rows} or {!row} on hot paths). *)
+
+val row : t -> int -> row
+(** Row [i] in insertion order.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val iter_rows : t -> (int -> row -> unit) -> unit
+(** Visit every row with its index, in insertion order, without
+    materialising a list. *)
 
 val nrows : t -> int
 (** Number of rows. *)
@@ -105,4 +167,4 @@ val objective_value : t -> (var -> bool) -> int
 (** Value of the objective terms (0 for [Feasibility]). *)
 
 val validate : t -> (unit, string list) result
-(** Check name uniqueness and index ranges. *)
+(** Check name uniqueness (forcing deferred names) and index ranges. *)

@@ -6,12 +6,14 @@ type t = {
   objective_offset : int;
 }
 
-(* Internal working form: rows as arrays, with a liveness flag. *)
+(* Internal working form: rows as arrays, with a liveness flag.  The
+   name is carried as a thunk so a solve-path presolve never renders
+   row names the caller will not look at. *)
 type wrow = {
   terms : (int * int) array;
   sense : Model.sense;
   rhs : int;
-  name : string;
+  name : unit -> string;
   group : string option;
   mutable live : bool;
 }
@@ -22,17 +24,19 @@ let run model =
   let value = Array.make n (-1) in
   let infeasible = ref false in
   let rows =
-    List.map
-      (fun (r : Model.row) ->
-        {
-          terms = Array.of_list r.terms;
-          sense = r.sense;
-          rhs = r.rhs;
-          name = r.name;
-          group = r.group;
-          live = true;
-        })
-      (Model.rows model)
+    let acc = ref [] in
+    Model.iter_rows model (fun i (r : Model.row) ->
+        acc :=
+          {
+            terms = Array.of_list r.terms;
+            sense = r.sense;
+            rhs = r.rhs;
+            name = (fun () -> Model.row_name model i);
+            group = r.group;
+            live = true;
+          }
+          :: !acc);
+    List.rev !acc
   in
   (* Attainable [lo, hi] of a row's LHS under current fixings. *)
   let range row =
@@ -106,7 +110,7 @@ let run model =
   let old_of_new = ref [] in
   for v = 0 to n - 1 do
     if value.(v) = -1 then begin
-      let nv = Model.add_binary reduced (Model.var_name model v) in
+      let nv = Model.add_binary_deferred reduced (fun () -> Model.var_name model v) in
       new_of_old.(v) <- nv;
       let p = Model.branch_priority model v in
       if p <> 0.0 then Model.set_branch_priority reduced nv p;
@@ -130,7 +134,7 @@ let run model =
                    | 0 -> None
                    | _ -> Some (c, new_of_old.(v)))
           in
-          Model.add_row reduced ~name:row.name ?group:row.group terms row.sense
+          Model.add_row reduced ~dname:row.name ?group:row.group terms row.sense
             (row.rhs - !const)
         end)
       rows;

@@ -82,13 +82,14 @@ let restrict model labels =
   for v = 0 to Model.nvars model - 1 do
     ignore (Model.add_binary sub (Model.var_name model v))
   done;
-  List.iter
-    (fun (r : Model.row) ->
+  Model.iter_rows model
+    (fun i (r : Model.row) ->
       let keep =
         match r.Model.group with None -> true | Some g -> List.mem g labels
       in
       if keep then
-        Model.add_row sub ~name:r.Model.name ?group:r.Model.group r.Model.terms
-          r.Model.sense r.Model.rhs)
-    (Model.rows model);
+        (* render the original name: row indices shift under the filter,
+           so auto names must be pinned to their source row *)
+        Model.add_row sub ~name:(Model.row_name model i) ?group:r.Model.group r.Model.terms
+          r.Model.sense r.Model.rhs);
   sub

@@ -194,3 +194,40 @@ let closure t ~starts ~next =
 let reachable t ~from = closure t ~starts:[ from ] ~next:(fun i -> t.succs.(i))
 let reachable_from t ~starts = closure t ~starts ~next:(fun i -> t.succs.(i))
 let co_reachable t ~targets = closure t ~starts:targets ~next:(fun i -> t.preds.(i))
+
+(* Bitset variants: same closures, packed sets.  The corridor sweep
+   additionally restricts the backward BFS to a forward cone. *)
+module Bitset = Cgra_util.Bitset
+
+let closure_set t ~starts ~only_in ~next =
+  let mark = Bitset.create (Array.length t.nodes) in
+  let admit s = match only_in with None -> true | Some cone -> Bitset.mem cone s in
+  let stack = ref [] in
+  List.iter
+    (fun s ->
+      if admit s && not (Bitset.mem mark s) then begin
+        Bitset.add mark s;
+        stack := s :: !stack
+      end)
+    starts;
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        List.iter
+          (fun y ->
+            if (not (Bitset.mem mark y)) && is_route t y && admit y then begin
+              Bitset.add mark y;
+              stack := y :: !stack
+            end)
+          (next x);
+        go ()
+  in
+  go ();
+  mark
+
+let reachable_set t ~starts = closure_set t ~starts ~only_in:None ~next:(fun i -> t.succs.(i))
+
+let corridor t ~cone ~targets =
+  closure_set t ~starts:targets ~only_in:(Some cone) ~next:(fun i -> t.preds.(i))

@@ -90,3 +90,21 @@ val reachable_from : t -> starts:int list -> bool array
 
 val co_reachable : t -> targets:int list -> bool array
 (** Backward reachability through [Route] nodes from a set of targets. *)
+
+val reachable_set : t -> starts:int list -> Cgra_util.Bitset.t
+(** {!reachable_from} as a packed bitset: the forward route-closure of
+    [starts] ([starts] marked unconditionally, expansion only through
+    [Route] nodes). *)
+
+val corridor : t -> cone:Cgra_util.Bitset.t -> targets:int list -> Cgra_util.Bitset.t
+(** Backward route-closure of [targets] restricted to [cone]: a target
+    is seeded only if it lies in [cone], and the BFS expands a
+    predecessor only if it is a [Route] node inside [cone].
+
+    When [cone] is a forward route-closure over route starts (any
+    {!reachable_set} result), the restriction is {e exact}: [cone] is
+    closed under route successors, so every backward route-path from a
+    target to a cone member lies entirely inside the cone, and the
+    result equals [cone ∩ co_reachable targets] without ever visiting
+    nodes outside the cone.  This is the corridor of legal routing
+    nodes between a value's producers and one sink. *)

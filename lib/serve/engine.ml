@@ -73,6 +73,10 @@ let handle_map_exn t (m : Protocol.map_request) =
               let session, _ = Cache.find_or_add t.sessions key (fun () -> Session.create dfg) in
               let outcome = Session.solve ~deadline session ~mrrg ~ii in
               if outcome.Session.warm_start then Atomic.incr t.warm_starts;
+              let info =
+                match outcome.Session.result with
+                | IM.Mapped (_, i) | IM.Infeasible i | IM.Timeout i -> i
+              in
               let provenance =
                 {
                   Protocol.mrrg_cache_hit;
@@ -81,6 +85,7 @@ let handle_map_exn t (m : Protocol.map_request) =
                   session_solves = outcome.Session.solves;
                   inprocess =
                     Cgra_satoca.Solver.inprocess_counters outcome.Session.solve_stats;
+                  build_phases = info.IM.build_phases;
                 }
               in
               Ok
@@ -108,6 +113,7 @@ let handle_map_exn t (m : Protocol.map_request) =
                   Protocol.cold_provenance with
                   Protocol.mrrg_cache_hit;
                   inprocess = info.IM.inprocess;
+                  build_phases = info.IM.build_phases;
                 }
               in
               Ok

@@ -33,6 +33,10 @@ type provenance = {
       (* per-pass SAT inprocessing counters of the solve behind the
          verdict (per-solve delta for sessions, whole run otherwise);
          [] when no in-process SAT solver ran *)
+  build_phases : (string * float) list;
+      (* per-phase encode timings ({!Cgra_core.Formulation.profile_fields})
+         of the model built for this request; [] when the request reused
+         a cached encoding and built nothing *)
 }
 
 let cold_provenance =
@@ -42,6 +46,7 @@ let cold_provenance =
     warm_start = false;
     session_solves = 0;
     inprocess = [];
+    build_phases = [];
   }
 
 type stats = {
@@ -228,11 +233,15 @@ let provenance_to_json p =
        ("warm_start", Jsonl.Bool p.warm_start);
        ("session_solves", num_int p.session_solves);
      ]
+    @ (match p.inprocess with
+      | [] -> []
+      | counters ->
+          [ ("inprocess", Jsonl.Obj (List.map (fun (k, n) -> (k, num_int n)) counters)) ])
     @
-    match p.inprocess with
+    match p.build_phases with
     | [] -> []
-    | counters ->
-        [ ("inprocess", Jsonl.Obj (List.map (fun (k, n) -> (k, num_int n)) counters)) ])
+    | phases ->
+        [ ("build_phases", Jsonl.Obj (List.map (fun (k, s) -> (k, Jsonl.Num s)) phases)) ])
 
 let provenance_of_json obj =
   {
@@ -246,6 +255,13 @@ let provenance_of_json obj =
       | Some (Jsonl.Obj fields) ->
           List.filter_map
             (fun (k, j) -> match int_opt j with Some n -> Some (k, n) | None -> None)
+            fields
+      | _ -> []);
+    build_phases =
+      (match Jsonl.member "build_phases" obj with
+      | Some (Jsonl.Obj fields) ->
+          List.filter_map
+            (fun (k, j) -> match float_opt j with Some s -> Some (k, s) | None -> None)
             fields
       | _ -> []);
   }

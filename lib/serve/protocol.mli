@@ -56,6 +56,12 @@ type provenance = {
           per-solve delta for session solves, the whole run for
           one-shot paths; [[]] when no in-process SAT solver ran.
           Absent on the wire when empty; older peers parse to [[]]. *)
+  build_phases : (string * float) list;
+      (** per-phase encode timings of the model built for this request
+          ({!Cgra_core.Formulation.profile_fields}: [placement],
+          [corridors], [routing_rows], [exclusivity], [total], in
+          seconds); [[]] when the compiled encoding was cached and no
+          model was built.  Absent on the wire when empty. *)
 }
 (** How much resident state the request reused.  A one-shot CLI run
     reports {!cold_provenance}. *)

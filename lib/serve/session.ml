@@ -36,11 +36,12 @@ let compiled_iis t =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () -> List.map fst t.blocks)
 
-let info_of ~size ~solve_seconds ~build_seconds ~certified ~stats : IM.info =
+let info_of ~size ~solve_seconds ~build_seconds ~build_phases ~certified ~stats : IM.info =
   {
     IM.size;
     solve_seconds;
     build_seconds;
+    build_phases;
     objective_value = None;
     proven_optimal = false;
     sat_calls = 1;
@@ -57,15 +58,17 @@ let solve ?(deadline = Deadline.none) t ~mrrg ~ii =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       let t0 = Deadline.now () in
-      let block, cache_hit =
+      let block, build_phases, cache_hit =
         match List.assoc_opt ii t.blocks with
-        | Some b -> (b, true)
+        | Some b -> (b, [], true)  (* cache hit: nothing was encoded *)
         | None ->
-            let formulation = Formulation.build ~objective:Formulation.Feasibility t.dfg mrrg in
+            let formulation, profile =
+              Formulation.build_profiled ~objective:Formulation.Feasibility t.dfg mrrg
+            in
             let embedded = Encode.encode_into ~guarded:true t.solver formulation.Formulation.model in
             let b = { formulation; embedded } in
             t.blocks <- t.blocks @ [ (ii, b) ];
-            (b, false)
+            (b, Formulation.profile_fields profile, false)
       in
       let build_seconds = Deadline.elapsed_of ~start:t0 in
       let warm_start = t.solves > 0 in
@@ -97,11 +100,11 @@ let solve ?(deadline = Deadline.none) t ~mrrg ~ii =
                 failwith
                   ("session solver produced a mapping the independent checker rejects: "
                   ^ String.concat "; " errs));
-            IM.Mapped (mapping, info_of ~size ~solve_seconds ~build_seconds ~certified:true ~stats)
+            IM.Mapped (mapping, info_of ~size ~solve_seconds ~build_seconds ~build_phases ~certified:true ~stats)
         | Solver.Unsat ->
-            IM.Infeasible (info_of ~size ~solve_seconds ~build_seconds ~certified:false ~stats)
+            IM.Infeasible (info_of ~size ~solve_seconds ~build_seconds ~build_phases ~certified:false ~stats)
         | Solver.Unknown ->
-            IM.Timeout (info_of ~size ~solve_seconds ~build_seconds ~certified:false ~stats)
+            IM.Timeout (info_of ~size ~solve_seconds ~build_seconds ~build_phases ~certified:false ~stats)
       in
       (* A timeout still counts as a solve: the solver retains learnt
          clauses and phases from the truncated run, so the next attempt

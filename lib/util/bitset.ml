@@ -1,0 +1,80 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0 }
+
+let length t = t.n
+
+let check t i op = if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ op ^ ": out of range")
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i "remove";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount w =
+  let c = ref 0 and w = ref w in
+  while !w <> 0 do
+    w := !w land (!w - 1);
+    incr c
+  done;
+  !c
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let same_universe a b op =
+  if a.n <> b.n then invalid_arg ("Bitset." ^ op ^ ": mismatched universes")
+
+let union_into ~into s =
+  same_universe into s "union_into";
+  for w = 0 to Array.length s.words - 1 do
+    into.words.(w) <- into.words.(w) lor s.words.(w)
+  done
+
+let inter a b =
+  same_universe a b "inter";
+  { n = a.n; words = Array.init (Array.length a.words) (fun w -> a.words.(w) land b.words.(w)) }
+
+(* Ascending-order visit: peel set bits off each word with [x land -x]
+   (lowest set bit) so sparse corridors cost O(members), not O(n). *)
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref t.words.(w) in
+    let base = w * bits_per_word in
+    while !bits <> 0 do
+      let low = !bits land - !bits in
+      (* log2 of a single set bit via popcount of low-1 *)
+      f (base + popcount (low - 1));
+      bits := !bits lxor low
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t

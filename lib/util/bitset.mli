@@ -1,0 +1,59 @@
+(** Fixed-capacity sets of small integers, packed one bit per element.
+
+    The corridor computation of the mapping formulation intersects and
+    unions node sets of the MRRG thousands of times per build; a packed
+    representation makes membership O(1) without the cache pressure of
+    a [bool array] and gives word-at-a-time union and population
+    count.  Iteration visits members in ascending order, which callers
+    rely on for deterministic emission order. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [{0, ..., n-1}].
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Universe size the set was created with. *)
+
+val mem : t -> int -> bool
+(** Membership test.  @raise Invalid_argument out of range. *)
+
+val add : t -> int -> unit
+(** Insert an element (idempotent).  @raise Invalid_argument out of
+    range. *)
+
+val remove : t -> int -> unit
+(** Delete an element (idempotent).  @raise Invalid_argument out of
+    range. *)
+
+val cardinal : t -> int
+(** Number of members (word-parallel population count). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Remove every member, keeping the universe size. *)
+
+val copy : t -> t
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into s] adds every member of [s] to [into]
+    word-by-word.  @raise Invalid_argument on mismatched universes. *)
+
+val inter : t -> t -> t
+(** Fresh intersection.  @raise Invalid_argument on mismatched
+    universes. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visit members in ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in ascending order. *)
+
+val to_list : t -> int list
+(** Members in ascending order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elems] is the set over [{0, ..., n-1}] holding
+    [elems]. *)

@@ -258,6 +258,45 @@ let test_formulation_objective_rows () =
   Alcotest.(check bool) "feasibility has no objective" true
     (Model.objective f2.Formulation.model = Model.Feasibility)
 
+(* The corridor-sparse builder must produce exactly the model the dense
+   reference scan produces.  Variable/row counts are pinned to the
+   known-good values so that an "equivalent but different" drift of
+   both builders at once cannot slip through. *)
+let test_formulation_pinned_counts () =
+  let dfg = Option.get (Benchmarks.by_name "mac") in
+  List.iter
+    (fun (topology, f_pin, r_pin, rk_pin, rows_pin, nvars_pin) ->
+      let mrrg = mrrg_of ~topology ~ii:1 4 in
+      let f = Formulation.build ~objective:Formulation.Feasibility dfg mrrg in
+      let s = Formulation.size f in
+      let label fmt = Printf.sprintf fmt (Library.topology_to_string topology) in
+      Alcotest.(check int) (label "%s F vars") f_pin s.Formulation.n_f;
+      Alcotest.(check int) (label "%s R vars") r_pin s.Formulation.n_r;
+      Alcotest.(check int) (label "%s Rk vars") rk_pin s.Formulation.n_rk;
+      Alcotest.(check int) (label "%s rows") rows_pin s.Formulation.n_rows;
+      Alcotest.(check int) (label "%s vars") nvars_pin (Model.nvars f.Formulation.model))
+    [
+      (Library.Mesh, 160, 3312, 4176, 13466, 7648);
+      (Library.Torus, 160, 3632, 4560, 14666, 8352);
+    ]
+
+let test_formulation_matches_reference () =
+  let dfg = Option.get (Benchmarks.by_name "mac") in
+  List.iter
+    (fun (topology, objective, prune, label) ->
+      let mrrg = mrrg_of ~topology ~ii:1 4 in
+      let f = Formulation.build ~objective ~prune dfg mrrg in
+      let r = Formulation.build_reference ~objective ~prune dfg mrrg in
+      let render f = Cgra_ilp.Lp_format.to_string f.Formulation.model in
+      Alcotest.(check bool) (label ^ " LP byte-identical to reference") true
+        (render f = render r))
+    [
+      (Library.Mesh, Formulation.Feasibility, true, "mesh");
+      (Library.Torus, Formulation.Feasibility, true, "torus");
+      (Library.Mesh, Formulation.Min_routing, true, "mesh min-routing");
+      (Library.Mesh, Formulation.Feasibility, false, "mesh unpruned");
+    ]
+
 (* ---------------- paper Examples 1-3 ---------------- *)
 
 (* Example 1 (Fig. 4 MRRG A): one producer, a routing fork, two
@@ -642,6 +681,9 @@ let suites =
         Alcotest.test_case "candidate legality" `Quick test_candidates_legality;
         Alcotest.test_case "model sizes and pruning" `Quick test_formulation_sizes;
         Alcotest.test_case "objective rows" `Quick test_formulation_objective_rows;
+        Alcotest.test_case "pinned counts (mac 4x4)" `Quick test_formulation_pinned_counts;
+        Alcotest.test_case "matches reference builder" `Quick
+          test_formulation_matches_reference;
       ] );
     ( "core:examples",
       [

@@ -131,6 +131,7 @@ let test_protocol_response_roundtrip () =
           warm_start = true;
           session_solves = 3;
           inprocess = [ ("subsumed", 2); ("eliminated", 1) ];
+          build_phases = [ ("placement", 0.01); ("total", 0.25) ];
         };
     }
   in
@@ -188,6 +189,7 @@ let test_protocol_decision_projection () =
                warm_start = true;
                session_solves = 12;
                inprocess = [ ("probed_failed", 4) ];
+               build_phases = [];
              };
          })
   in
