@@ -15,6 +15,11 @@
                        BENCH_inprocess.json and exits 1 if the geomean
                        speedup falls below 1.3x
      explain           unsat-core extraction overhead on infeasible cells
+     conn              formulation A/B: the paper's per-edge model vs the
+                       connectivity model on shared cells — encode size,
+                       encode/solve time per formulation; appends a run
+                       record to BENCH_conn.json, exits 3 on any verdict
+                       flip and 1 if conn's row count blows past its gate
      crosscheck        native engine vs an external MILP backend on a small
                        grid (skipped with a message when the solver binary
                        is not installed); exits 5 on verdict disagreement
@@ -1074,6 +1079,121 @@ let run_archscale opts =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Formulation A/B: paper per-edge model vs connectivity model         *)
+(* ------------------------------------------------------------------ *)
+
+(* The two formulations answer the same feasibility question from
+   different constraint structures, so every cell both decide must get
+   the same verdict (exit 3 on a flip — that is a soundness bug, not a
+   performance regression).  The gate bounds conn's encode blowup
+   instead of its solve time: the row count must stay within
+   [conn_gate]x the paper formulation's on every cell, a deterministic
+   tripwire for corridor-pruning regressions that CI timing noise
+   cannot trip. *)
+let conn_gate = 8.0
+
+let run_conn opts =
+  let module Solve = Cgra_ilp.Solve in
+  let module FI = Cgra_core.Formulation_intf in
+  Cgra_conn.Conn.ensure_registered ();
+  Printf.printf "== Formulation A/B: paper vs conn (limit %.0fs) ==\n" opts.limit;
+  let impl name =
+    match FI.find name with
+    | Some impl -> impl
+    | None -> failwith (Printf.sprintf "bench conn: formulation %S not registered" name)
+  in
+  let paper = impl FI.default_name and conn = impl Cgra_conn.Conn.formulation_name in
+  (* feasible and infeasible cells, both context counts; the 2x2 mac
+     cell keeps an unsat verdict in the agreement check *)
+  let cells =
+    [
+      ("mac", "homo-orth", 2, 1); ("mac", "homo-orth", 4, 1);
+      ("mac", "hetero-orth", 4, 1); ("2x2-f", "homo-diag", 4, 1);
+      ("accum", "homo-orth", 4, 1); ("2x2-f", "homo-orth", 2, 2);
+    ]
+  in
+  let status = function
+    | Solve.Optimal _ | Solve.Feasible _ -> "sat"
+    | Solve.Infeasible -> "unsat"
+    | Solve.Timeout -> "TO"
+  in
+  let measure (impl : FI.impl) dfg mrrg =
+    let t0 = Deadline.now () in
+    let f = impl.FI.build ~objective:Formulation.Feasibility dfg mrrg in
+    let encode_seconds = Deadline.elapsed_of ~start:t0 in
+    let report =
+      Solve.solve_report ~deadline:(Deadline.after ~seconds:opts.limit) f.FI.model
+    in
+    (f.FI.size, encode_seconds, report)
+  in
+  Printf.printf "  %-24s %-6s %16s %16s %18s\n" "cell" "status" "rows paper/conn"
+    "enc paper/conn" "solve paper/conn";
+  let gate_failed = ref false in
+  let rows =
+    List.filter_map
+      (fun (bench, arch_name, size, ii) ->
+        match (Benchmarks.by_name bench, Lib.find_config ~size arch_name) with
+        | None, _ | _, None ->
+            Printf.printf "  %-24s unknown cell — skipped\n" bench;
+            None
+        | Some dfg, Some config ->
+            let mrrg = Build.elaborate (Lib.make config) ~ii in
+            let p_size, p_encode, p_report = measure paper dfg mrrg in
+            let c_size, c_encode, c_report = measure conn dfg mrrg in
+            let p_status = status p_report.Solve.outcome
+            and c_status = status c_report.Solve.outcome in
+            let cell = Printf.sprintf "%s/%s/ii%d" bench arch_name ii in
+            if p_status <> "TO" && c_status <> "TO" && p_status <> c_status then begin
+              Printf.eprintf "conn: %s verdict flipped across formulations (%s vs %s)\n%!"
+                cell p_status c_status;
+              exit 3
+            end;
+            let blowup =
+              float_of_int c_size.Formulation.n_rows
+              /. float_of_int (max 1 p_size.Formulation.n_rows)
+            in
+            if blowup > conn_gate then gate_failed := true;
+            Printf.printf "  %-24s %-6s %7d/%8d %7.0f/%5.0fms %8.0f/%7.0fms\n%!" cell
+              c_status p_size.Formulation.n_rows c_size.Formulation.n_rows
+              (1000.0 *. p_encode) (1000.0 *. c_encode)
+              (1000.0 *. p_report.Solve.solve_seconds)
+              (1000.0 *. c_report.Solve.solve_seconds);
+            let vars (s : Formulation.size) = s.Formulation.n_f + s.Formulation.n_r + s.Formulation.n_rk in
+            Some
+              (Jsonl.Obj
+                 [
+                   ("benchmark", Jsonl.Str bench);
+                   ("arch", Jsonl.Str arch_name);
+                   ("size", Jsonl.Num (float_of_int size));
+                   ("contexts", Jsonl.Num (float_of_int ii));
+                   ("status", Jsonl.Str c_status);
+                   ("paper_rows", Jsonl.Num (float_of_int p_size.Formulation.n_rows));
+                   ("paper_vars", Jsonl.Num (float_of_int (vars p_size)));
+                   ("paper_encode_seconds", Jsonl.Num p_encode);
+                   ("paper_solve_seconds", Jsonl.Num p_report.Solve.solve_seconds);
+                   ("conn_rows", Jsonl.Num (float_of_int c_size.Formulation.n_rows));
+                   ("conn_vars", Jsonl.Num (float_of_int (vars c_size)));
+                   ("conn_encode_seconds", Jsonl.Num c_encode);
+                   ("conn_solve_seconds", Jsonl.Num c_report.Solve.solve_seconds);
+                   ("row_blowup", Jsonl.Num blowup);
+                 ]))
+      cells
+  in
+  record_bench_run ~name:"conn"
+    (Jsonl.Obj
+       [
+         ("unix_time", Jsonl.Num (Unix.gettimeofday ()));
+         ("gate", Jsonl.Num conn_gate);
+         ("cells", Jsonl.List rows);
+       ]);
+  if !gate_failed then begin
+    Printf.eprintf "conn: a cell's row count blew past %.1fx the paper formulation's\n%!"
+      conn_gate;
+    exit 1
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Argument parsing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1124,6 +1244,7 @@ let () =
       | "certify" -> run_certify opts
       | "inprocess" -> run_inprocess opts
       | "explain" -> run_explain opts
+      | "conn" -> run_conn opts
       | "crosscheck" -> run_crosscheck opts
       | "serve" -> run_serve opts
       | "archscale" | "arch-scale" -> run_archscale opts

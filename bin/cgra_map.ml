@@ -13,6 +13,7 @@ module Adl = Cgra_arch.Adl
 module Mrrg = Cgra_mrrg.Mrrg
 module Build = Cgra_mrrg.Build
 module Formulation = Cgra_core.Formulation
+module Formulation_intf = Cgra_core.Formulation_intf
 module IM = Cgra_core.Ilp_mapper
 module Anneal = Cgra_core.Anneal
 module Mapping = Cgra_core.Mapping
@@ -25,6 +26,11 @@ module Serve_protocol = Cgra_serve.Protocol
 module Serve_server = Cgra_serve.Server
 module Serve_client = Cgra_serve.Client
 open Cmdliner
+
+(* The conn library registers its formulation and backends at module
+   init; nothing here references its modules directly, so force the
+   link explicitly or the registry never sees it. *)
+let () = Cgra_conn.Conn.ensure_registered ()
 
 (* Exit codes: 0 ok, 1 error, 3 undecided (timeout / incomplete
    evidence), 4 uncertified, 5 cross-check disagreement, 6 protocol
@@ -164,6 +170,14 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let formulation_arg =
+  let doc =
+    "ILP formulation: $(b,paper) (the DAC'18 per-edge sub-value model) or $(b,conn) (the \
+     connectivity-based single-driver-tree model).  Both compile to the same solver \
+     pipeline and must agree on every verdict."
+  in
+  Arg.(value & opt (some string) None & info [ "formulation" ] ~docv:"NAME" ~doc)
+
 (* The one-shot CLI and the daemon share the wire record; a one-shot
    answer reports cold provenance, with this run's inprocessing
    counters as its whole-run share. *)
@@ -182,14 +196,16 @@ let print_verdict_json ~engine ~t0 result =
   print_endline (Jsonl.to_string (Serve_protocol.verdict_to_json v))
 
 let map_cmd =
-  let run bench arch size contexts limit optimize certify backend json =
+  let run bench arch size contexts limit optimize certify backend formulation json =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
     let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
     let t0 = Deadline.now () in
     let result =
-      try IM.map ~objective ?backend ~deadline:(deadline_of limit) ~certify dfg mrrg
+      try
+        IM.map ~objective ?backend ?formulation ~deadline:(deadline_of limit) ~certify dfg
+          mrrg
       with Backend.Error msg ->
         prerr_endline ("backend error: " ^ msg);
         exit 1
@@ -231,11 +247,11 @@ let map_cmd =
        ~doc:"Map a benchmark onto an architecture with the exact ILP mapper (paper Fig. 7).")
     Term.(
       const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ limit_arg $ optimize_arg
-      $ certify_arg $ backend_arg $ json_arg)
+      $ certify_arg $ backend_arg $ formulation_arg $ json_arg)
 
 let backends_cmd =
   let run () =
-    Printf.printf "%-12s %-9s %-14s %s\n" "Name" "Kind" "Status" "Description";
+    Printf.printf "%-12s %-11s %-14s %s\n" "Name" "Kind" "Status" "Description";
     List.iter
       (fun (b : Backend.t) ->
         let status, detail =
@@ -244,7 +260,7 @@ let backends_cmd =
           | Backend.Available { version = None } -> ("available", "")
           | Backend.Unavailable why -> ("missing", Printf.sprintf " (%s)" why)
         in
-        Printf.printf "%-12s %-9s %-14s %s%s\n" b.Backend.name
+        Printf.printf "%-12s %-11s %-14s %s%s\n" b.Backend.name
           (Backend.kind_name b.Backend.kind)
           status b.Backend.doc detail)
       (Registry.all ())
@@ -626,19 +642,31 @@ let fuzz_arch_cmd =
           $ verbose_arg)
 
 let lp_cmd =
-  let run bench arch size contexts optimize =
+  let run bench arch size contexts optimize formulation =
     let dfg = or_die (load_benchmark bench) in
     let a = or_die (load_arch arch size) in
     let mrrg = Build.elaborate a ~ii:contexts in
     let objective = if optimize then Formulation.Min_routing else Formulation.Feasibility in
-    let f = Formulation.build ~objective dfg mrrg in
-    print_string (Lp_format.to_string f.Formulation.model)
+    let fname = Option.value formulation ~default:Formulation_intf.default_name in
+    let impl =
+      match Formulation_intf.find fname with
+      | Some impl -> impl
+      | None ->
+          or_die
+            (Error
+               (Printf.sprintf "unknown formulation %S (known: %s)" fname
+                  (String.concat ", " (Formulation_intf.names ()))))
+    in
+    let f = impl.Formulation_intf.build ~objective dfg mrrg in
+    print_string (Lp_format.to_string f.Formulation_intf.model)
   in
   Cmd.v
     (Cmd.info "lp"
        ~doc:
          "Print the ILP formulation in CPLEX LP format (for inspection or an external solver).")
-    Term.(const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ optimize_arg)
+    Term.(
+      const run $ benchmark_arg $ arch_arg $ size_arg $ contexts_arg $ optimize_arg
+      $ formulation_arg)
 
 (* ---------------- sweep ---------------- *)
 

@@ -3,6 +3,7 @@ type availability = Available of { version : string option } | Unavailable of st
 type kind =
   | Native of Cgra_ilp.Solve.engine
   | External of { binary : string; dialect : Sol_parse.dialect }
+  | Formulation of { formulation : string; engine : Cgra_ilp.Solve.engine }
 
 type report = {
   outcome : Cgra_ilp.Solve.outcome;
@@ -30,4 +31,7 @@ let pp_availability fmt = function
   | Available { version = None } -> Format.pp_print_string fmt "available"
   | Unavailable why -> Format.fprintf fmt "unavailable: %s" why
 
-let kind_name = function Native _ -> "native" | External _ -> "external"
+let kind_name = function
+  | Native _ -> "native"
+  | External _ -> "external"
+  | Formulation _ -> "formulation"

@@ -22,6 +22,13 @@ type kind =
   | Native of Cgra_ilp.Solve.engine  (** thin wrapper over {!Cgra_ilp.Solve} *)
   | External of { binary : string; dialect : Sol_parse.dialect }
       (** subprocess adapter: LP file out, solution file back in *)
+  | Formulation of { formulation : string; engine : Cgra_ilp.Solve.engine }
+      (** a different {e constraint structure}, not a different solver:
+          the mapper compiles the job through the named entry of
+          [Cgra_core.Formulation_intf] and solves natively with
+          [engine].  The name is a string (not a typed handle) so this
+          library stays independent of [cgra_core], which sits above
+          it in the dependency order. *)
 
 type report = {
   outcome : Cgra_ilp.Solve.outcome;
@@ -53,4 +60,4 @@ exception Error of string
 
 val pp_availability : Format.formatter -> availability -> unit
 val kind_name : kind -> string
-(** ["native"] or ["external"]. *)
+(** ["native"], ["external"] or ["formulation"]. *)

@@ -33,59 +33,13 @@ type info = {
 
 type result = Mapped of Mapping.t * info | Infeasible of info | Timeout of info
 
-module Model = Cgra_ilp.Model
-module Dfg = Cgra_dfg.Dfg
-
-(* Seed the exact engine's variable phases from a heuristic solution:
-   the first descent of the CDCL search then reproduces the incumbent
-   (or repairs it cheaply), and the optimisation loop starts from its
-   cost.  Hints only — completeness is untouched. *)
-let apply_warm_phases (f : Formulation.t) (m : Mapping.t) =
-  let model = f.Formulation.model in
-  let set v = Model.set_branch_phase model v true in
-  (* the formulation marks every placement variable phase-true as a
-     cold-start heuristic; a warm start needs exactly one per op *)
-  Hashtbl.iter (fun _ v -> Model.set_branch_phase model v false) f.Formulation.f_vars;
-  List.iter
-    (fun (q, p) ->
-      match Hashtbl.find_opt f.Formulation.f_vars (p, q) with
-      | Some v -> set v
-      | None -> ())
-    m.Mapping.placement;
-  let j_of_producer = Hashtbl.create 32 in
-  Array.iteri
-    (fun j (v : Dfg.value) -> Hashtbl.replace j_of_producer v.Dfg.producer j)
-    f.Formulation.values;
-  List.iter
-    (fun (r : Mapping.route) ->
-      match Hashtbl.find_opt j_of_producer r.Mapping.value_producer with
-      | None -> ()
-      | Some j ->
-          let sinks = f.Formulation.values.(j).Dfg.sinks in
-          let k =
-            let rec index i = function
-              | [] -> -1
-              | s :: rest -> if s = r.Mapping.sink then i else index (i + 1) rest
-            in
-            index 0 sinks
-          in
-          if k >= 0 then
-            List.iter
-              (fun i ->
-                (match Hashtbl.find_opt f.Formulation.rk_vars (i, j, k) with
-                | Some v -> set v
-                | None -> ());
-                match Hashtbl.find_opt f.Formulation.r_vars (i, j) with
-                | Some v -> set v
-                | None -> ())
-              r.Mapping.nodes)
-    m.Mapping.routes
-
 (* Translate a verified group core back into mapping vocabulary: which
-   operations, values and resources the blame falls on. *)
-let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
+   operations, values and resources the blame falls on.  Group-label
+   vocabulary is shared across formulations (see Formulation_intf), so
+   the parse below works for any registered formulation. *)
+let diagnose ?deadline (f : Formulation_intf.built) (core : Unsat_core.core) =
   let verified =
-    match Unsat_core.check ?deadline f.Formulation.model core.Unsat_core.groups with
+    match Unsat_core.check ?deadline f.Formulation_intf.model core.Unsat_core.groups with
     | Some true -> true
     | Some false ->
         failwith "Ilp_mapper: extracted core re-solved satisfiable (bug)"
@@ -98,7 +52,7 @@ let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
       | Some (Formulation.Placement op) -> ops := op :: !ops
       | Some (Formulation.Exclusivity node) -> resources := node :: !resources
       | Some (Formulation.Routing j) ->
-          values := Formulation.value_description f j :: !values
+          values := f.Formulation_intf.describe_value j :: !values
       | None -> ())
     core.Unsat_core.groups;
   {
@@ -117,12 +71,12 @@ let diagnose ?deadline (f : Formulation.t) (core : Unsat_core.core) =
    a Mapped verdict carries the same evidence as the native path; an
    Infeasible verdict is the external solver's word — uncertified, and
    exactly what [sweep --cross-check] exists to diff. *)
-let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulation.t)
-    ~build_seconds ~build_phases =
-  let report = b.Backend.solve ?deadline f.Formulation.model in
+let solve_external ?deadline ~objective ~explain (b : Backend.t)
+    (f : Formulation_intf.built) ~build_seconds ~build_phases =
+  let report = b.Backend.solve ?deadline f.Formulation_intf.model in
   let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
     {
-      size = Formulation.size f;
+      size = f.Formulation_intf.size;
       solve_seconds = report.Backend.wall_seconds;
       build_seconds;
       build_phases;
@@ -144,7 +98,7 @@ let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulatio
            externally-proven infeasibility too *)
         if not explain then None
         else
-          match Unsat_core.extract ?deadline ~minimize:true f.Formulation.model with
+          match Unsat_core.extract ?deadline ~minimize:true f.Formulation_intf.model with
           | Unsat_core.Core core -> Some (diagnose ?deadline f core)
           | Unsat_core.Satisfiable ->
               failwith
@@ -161,7 +115,7 @@ let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulatio
       let proven_optimal =
         match report.Backend.outcome with Solve.Optimal _ -> true | _ -> false
       in
-      let mapping = Extract.mapping f assign in
+      let mapping = f.Formulation_intf.extract assign in
       (match Check.run mapping with
       | Ok () -> ()
       | Error errs ->
@@ -175,11 +129,12 @@ let solve_external ?deadline ~objective ~explain (b : Backend.t) (f : Formulatio
       in
       Mapped (mapping, info ~objective_value ~proven_optimal ~certified:true ())
 
-let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cancel ?prune
-    ?(warm_start = 5.0) ?(certify = false) ?(explain = false) ?inprocess dfg mrrg =
-  let engine, external_backend =
+let map ?(objective = Formulation.Feasibility) ?engine ?backend ?formulation ?deadline
+    ?cancel ?prune ?(warm_start = 5.0) ?(certify = false) ?(explain = false) ?inprocess
+    dfg mrrg =
+  let engine, external_backend, formulation =
     match backend with
-    | None -> (engine, None)
+    | None -> (engine, None, formulation)
     | Some name -> (
         match Registry.find name with
         | None ->
@@ -189,8 +144,23 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
                     (String.concat ", " (Registry.names ()))))
         | Some b -> (
             match b.Backend.kind with
-            | Backend.Native e -> (Some e, None)
-            | Backend.External _ -> (engine, Some b)))
+            | Backend.Native e -> (Some e, None, formulation)
+            | Backend.External _ -> (engine, Some b, formulation)
+            | Backend.Formulation { formulation = fname; engine = e } ->
+                (* a formulation backend is a (formulation, native
+                   engine) pair; it overrides an explicit ?formulation
+                   because the backend name is the more specific ask *)
+                (Some e, None, Some fname)))
+  in
+  let impl =
+    let fname = Option.value formulation ~default:Formulation_intf.default_name in
+    match Formulation_intf.find fname with
+    | Some impl -> impl
+    | None ->
+        raise
+          (Backend.Error
+             (Printf.sprintf "unknown formulation %S (known: %s)" fname
+                (String.concat ", " (Formulation_intf.names ()))))
   in
   let attach d = match cancel with None -> d | Some f -> Deadline.with_cancellation d f in
   let deadline = Option.map attach deadline in
@@ -200,8 +170,8 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
     | d, _ -> d
   in
   let t0 = Deadline.now () in
-  let f, profile = Formulation.build_profiled ~objective ?prune dfg mrrg in
-  let build_phases = Formulation.profile_fields profile in
+  let f = impl.Formulation_intf.build ~objective ?prune dfg mrrg in
+  let build_phases = f.Formulation_intf.phases in
   (* phase hints mean nothing to a subprocess solver *)
   let warm_start = if external_backend <> None then 0.0 else warm_start in
   if warm_start > 0.0 then begin
@@ -209,7 +179,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
     match
       Anneal.map ~params ~deadline:(attach (Deadline.after ~seconds:warm_start)) dfg mrrg
     with
-    | Anneal.Mapped (m, _) -> apply_warm_phases f m
+    | Anneal.Mapped (m, _) -> f.Formulation_intf.warm m
     | Anneal.Failed _ -> ()
   end;
   let build_seconds = Deadline.elapsed_of ~start:t0 in
@@ -217,11 +187,13 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
   | Some b -> solve_external ?deadline ~objective ~explain b f ~build_seconds ~build_phases
   | None ->
   let proof = if certify then Some (Proof.create ()) else None in
-  let report = Solve.solve_report ?deadline ?engine ?proof ?inprocess f.Formulation.model in
+  let report =
+    Solve.solve_report ?deadline ?engine ?proof ?inprocess f.Formulation_intf.model
+  in
   let proof_steps = match proof with Some p -> Proof.n_steps p | None -> 0 in
   let info ?diagnosis ~objective_value ~proven_optimal ~certified () =
     {
-      size = Formulation.size f;
+      size = f.Formulation_intf.size;
       solve_seconds = report.Solve.solve_seconds;
       build_seconds;
       build_phases;
@@ -256,7 +228,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
       let diagnosis =
         if not explain then None
         else
-          match Unsat_core.extract ?deadline ~minimize:true f.Formulation.model with
+          match Unsat_core.extract ?deadline ~minimize:true f.Formulation_intf.model with
           | Unsat_core.Core core -> Some (diagnose ?deadline f core)
           | Unsat_core.Satisfiable ->
               failwith "Ilp_mapper: core extraction refuted the engine's infeasibility (bug)"
@@ -269,7 +241,7 @@ let map ?(objective = Formulation.Feasibility) ?engine ?backend ?deadline ?cance
       let proven_optimal =
         match report.Solve.outcome with Solve.Optimal _ -> true | _ -> false
       in
-      let mapping = Extract.mapping f assign in
+      let mapping = f.Formulation_intf.extract assign in
       (match Check.run mapping with
       | Ok () -> ()
       | Error errs ->

@@ -68,6 +68,7 @@ val map :
   ?objective:Formulation.objective ->
   ?engine:Cgra_ilp.Solve.engine ->
   ?backend:string ->
+  ?formulation:string ->
   ?deadline:Cgra_util.Deadline.t ->
   ?cancel:bool Atomic.t ->
   ?prune:bool ->
@@ -96,9 +97,23 @@ val map :
     and stays [certified = false] (no DRAT trace exists); [explain]
     still works (the native core extractor re-derives the conflict),
     and the sweep's [--cross-check] exists to diff such verdicts.
-    [warm_start] is forced to 0 on external backends.
+    [warm_start] is forced to 0 on external backends.  A formulation
+    backend (["conn-sat"], ["conn-bnb"]) names a
+    {!Formulation_intf} entry plus a native engine and routes through
+    the standard in-process path — [certify], [explain] and
+    [warm_start] all work, exactly as for a native backend.
     @raise Cgra_backend.Backend.Error on an unknown backend name, a
     missing solver binary, or an external answer that fails replay.
+
+    [formulation] selects the constraint structure by
+    {!Formulation_intf} registry name (default
+    {!Formulation_intf.default_name}, the paper's per-edge sub-value
+    model).  Every downstream stage — presolve, SAT encoding,
+    certification, explanation, {!Check.run} validation — is
+    formulation-agnostic, so any registered formulation gets the full
+    pipeline.  When [backend] names a formulation backend, that wins
+    over [formulation].
+    @raise Cgra_backend.Backend.Error on an unknown formulation name.
 
     {b Reentrancy.}  [map] is the single-job entry point of the
     parallel sweep engine: it holds no global mutable state — the

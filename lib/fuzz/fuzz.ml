@@ -16,6 +16,11 @@ module Formulation = Cgra_core.Formulation
 module Lp_format = Cgra_ilp.Lp_format
 module Job = Cgra_sweep.Job
 module Record = Cgra_sweep.Record
+module Conn = Cgra_conn.Conn
+
+(* the conn formulation registers itself at module init; force the
+   link so the differential invariant below can find it by name *)
+let () = Conn.ensure_registered ()
 
 type kernel = Benchmark of string | Random of int
 
@@ -254,9 +259,9 @@ let check_solve sample ~limit =
   let failures = ref [] in
   let fail invariant detail = failures := (invariant, detail) :: !failures in
   let dfg = dfg_of_kernel sample.kernel in
-  let map config =
+  let map ?formulation config =
     let mrrg = Build.elaborate (Library.make config) ~ii:sample.ii in
-    IM.map ~deadline:(Deadline.after ~seconds:limit) ~warm_start:0.0 dfg mrrg
+    IM.map ?formulation ~deadline:(Deadline.after ~seconds:limit) ~warm_start:0.0 dfg mrrg
   in
   (* differential: the corridor-sparse builder and the retained dense
      reference scan must produce byte-identical LP renderings — same
@@ -279,6 +284,20 @@ let check_solve sample ~limit =
       | Error errs ->
           fail "mapped-check" ("independent checker rejects mapping: " ^ String.concat "; " errs))
   | IM.Infeasible _ | IM.Timeout _ -> ());
+  (* differential: the connectivity formulation decides the same
+     feasibility question from a different constraint structure, so on
+     any sample where both formulations finish, the verdicts must
+     coincide (a conn Mapped answer is Check-validated inside map) *)
+  (match (result, map ~formulation:Conn.formulation_name sample.config) with
+  | IM.Mapped _, IM.Infeasible _ ->
+      fail "formulation-vs-conn"
+        (Printf.sprintf "paper formulation maps %s but conn proves it infeasible"
+           (Library.name_of_config sample.config))
+  | IM.Infeasible _, IM.Mapped _ ->
+      fail "formulation-vs-conn"
+        (Printf.sprintf "paper formulation proves %s infeasible but conn maps it"
+           (Library.name_of_config sample.config))
+  | _ -> () (* agreement, or a timeout on either side proves nothing *));
   (* monotonicity: wrap-around links only ever add routing options *)
   (match result with
   | IM.Mapped _ when not (Topology.wraps sample.config.Library.topology) -> (
@@ -334,8 +353,8 @@ let rec shrink ~still_failing s =
 
 (* ---------------- the driver ---------------- *)
 
-(* Per sample: 6 structural invariants, plus 4 solver-backed ones. *)
-let checks_per_sample ~solve = if solve then 10 else 6
+(* Per sample: 6 structural invariants, plus 5 solver-backed ones. *)
+let checks_per_sample ~solve = if solve then 11 else 6
 
 let run ?(solve = true) ?(limit = 5.0) ?(max_dim = 3) ?progress ~seed ~count () =
   let violations = ref [] in

@@ -23,6 +23,10 @@
       byte-identical LP renderings of the sample's model;
     - {b mapped-check} — a [Mapped] verdict's mapping is re-accepted
       by the independent {!Cgra_core.Check};
+    - {b formulation-vs-conn} — the connectivity formulation
+      ({!Cgra_conn.Conn}) and the paper formulation agree on the
+      sample's feasibility verdict whenever both finish (a timeout on
+      either side proves nothing);
     - {b wrap-monotone} — adding wrap-around links never turns
       [Mapped] into [Infeasible] (a torus contains every mesh link);
     - {b journal-roundtrip} — the outcome survives the sweep journal's

@@ -1,6 +1,7 @@
 module Rng = Cgra_util.Rng
 module Veci = Cgra_util.Veci
 module Deadline = Cgra_util.Deadline
+module Bitset = Cgra_util.Bitset
 
 let test_rng_deterministic () =
   let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
@@ -65,6 +66,81 @@ let test_veci_sort () =
   Veci.sort compare v;
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Veci.to_list v)
 
+let test_bitset_empty () =
+  let s = Bitset.create 0 in
+  Alcotest.(check int) "zero universe" 0 (Bitset.length s);
+  Alcotest.(check int) "empty cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty s);
+  Alcotest.(check (list int)) "no members" [] (Bitset.to_list s);
+  (* operations on the empty universe are no-ops, not crashes *)
+  Bitset.clear s;
+  Bitset.union_into ~into:s (Bitset.create 0);
+  Alcotest.(check int) "inter of empties" 0 (Bitset.cardinal (Bitset.inter s (Bitset.create 0)));
+  let visited = ref 0 in
+  Bitset.iter (fun _ -> incr visited) s;
+  Alcotest.(check int) "iter visits nothing" 0 !visited
+
+let test_bitset_word_boundaries () =
+  (* sizes straddling the 63/64-bit word packing: the last partial
+     word must mask correctly for cardinal, iter and union *)
+  List.iter
+    (fun n ->
+      let s = Bitset.create n in
+      for i = 0 to n - 1 do
+        Bitset.add s i
+      done;
+      Alcotest.(check int) (Printf.sprintf "full set of %d" n) n (Bitset.cardinal s);
+      Alcotest.(check bool)
+        (Printf.sprintf "last member of %d" n)
+        true
+        (Bitset.mem s (n - 1));
+      Alcotest.(check (list int))
+        (Printf.sprintf "members of %d" n)
+        (List.init n (fun i -> i))
+        (Bitset.to_list s);
+      Bitset.remove s (n - 1);
+      Alcotest.(check int) (Printf.sprintf "removed last of %d" n) (n - 1) (Bitset.cardinal s);
+      (* out-of-range accesses must raise, not read a neighbour word *)
+      Alcotest.check_raises
+        (Printf.sprintf "mem %d out of range" n)
+        (Invalid_argument "Bitset.mem: out of range")
+        (fun () -> ignore (Bitset.mem s n)))
+    [ 1; 63; 64; 65; 127; 128; 129 ]
+
+let test_bitset_union_self () =
+  let s = Bitset.of_list 100 [ 0; 31; 63; 64; 99 ] in
+  let before = Bitset.to_list s in
+  Bitset.union_into ~into:s s;
+  Alcotest.(check (list int)) "self-union is the identity" before (Bitset.to_list s);
+  (* and union with a copy, then a disjoint set, accumulates *)
+  let t = Bitset.of_list 100 [ 1; 2; 65 ] in
+  Bitset.union_into ~into:s t;
+  Alcotest.(check (list int)) "union accumulates" [ 0; 1; 2; 31; 63; 64; 65; 99 ]
+    (Bitset.to_list s);
+  Alcotest.check_raises "mismatched universes rejected"
+    (Invalid_argument "Bitset.union_into: mismatched universes")
+    (fun () -> Bitset.union_into ~into:s (Bitset.create 99))
+
+let test_bitset_iter_ascending () =
+  (* deterministic emission order in the formulation builders depends
+     on iter visiting members in ascending order; check over random
+     sets including boundary members *)
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 200 in
+    let s = Bitset.create n in
+    for _ = 1 to Rng.int rng (n + 1) do
+      Bitset.add s (Rng.int rng n)
+    done;
+    let visited = ref [] in
+    Bitset.iter (fun i -> visited := i :: !visited) s;
+    let ascending = List.rev !visited in
+    Alcotest.(check (list int)) "iter ascending = to_list" (Bitset.to_list s) ascending;
+    let sorted = List.sort_uniq compare ascending in
+    Alcotest.(check (list int)) "strictly ascending, no duplicates" sorted ascending;
+    Alcotest.(check int) "cardinal matches" (List.length ascending) (Bitset.cardinal s)
+  done
+
 let test_deadline () =
   Alcotest.(check bool) "none never expires" false (Cgra_util.Deadline.expired Deadline.none);
   let d = Deadline.after ~seconds:(-1.0) in
@@ -105,6 +181,10 @@ let suites =
         Alcotest.test_case "veci push/pop" `Quick test_veci_push_pop;
         Alcotest.test_case "veci swap_remove" `Quick test_veci_swap_remove;
         Alcotest.test_case "veci sort" `Quick test_veci_sort;
+        Alcotest.test_case "bitset empty" `Quick test_bitset_empty;
+        Alcotest.test_case "bitset word boundaries" `Quick test_bitset_word_boundaries;
+        Alcotest.test_case "bitset self union" `Quick test_bitset_union_self;
+        Alcotest.test_case "bitset iter ascending" `Quick test_bitset_iter_ascending;
         Alcotest.test_case "deadline" `Quick test_deadline;
         Alcotest.test_case "deadline cancellation" `Quick test_deadline_cancellation;
       ] );
